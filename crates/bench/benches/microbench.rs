@@ -1,0 +1,248 @@
+//! Criterion microbenchmarks for the A-Caching building blocks: cache-store
+//! operations (§3.3), Bloom miss-probability estimation (Appendix A),
+//! candidate enumeration (§4.2), each offline selection algorithm (§4.4 /
+//! Appendix B), the simplex LP solver, and end-to-end engine throughput
+//! with and without caches.
+
+use acq::cache::CacheStore;
+use acq::candidates::{enumerate_candidates, EnumerationConfig};
+use acq::engine::{AdaptiveJoinEngine, CacheMode, EngineConfig};
+use acq::select::{
+    solve_exhaustive, solve_greedy, solve_randomized, solve_recursive, CacheChoice,
+    SelectionInstance,
+};
+use acq_gen::spec::chain3_default;
+use acq_lp::LinearProgram;
+use acq_mjoin::mjoin::MJoin;
+use acq_mjoin::plan::{PipelineOrder, PlanOrders};
+use acq_sketch::bloom::MissProbEstimator;
+use acq_stream::tuple::make_ref;
+use acq_stream::{Composite, QuerySchema, RelId, TupleData, Value};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn comp(id: u64) -> Composite {
+    Composite::unit(make_ref(
+        RelId(1),
+        id,
+        TupleData::ints(&[id as i64, 2 * id as i64]),
+    ))
+}
+
+fn bench_cache_store(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_store");
+    // Hit path: direct-mapped store with all keys resident.
+    let mut store = CacheStore::new(1024);
+    for k in 0..512i64 {
+        store.create(
+            vec![Value::Int(k)],
+            vec![(comp(k as u64), 1), (comp(k as u64 + 1000), 1)],
+        );
+    }
+    let mut k = 0i64;
+    g.bench_function("probe_hit", |b| {
+        b.iter(|| {
+            k = (k + 1) % 512;
+            black_box(store.probe(&[Value::Int(k)]).is_some())
+        })
+    });
+    g.bench_function("probe_miss", |b| {
+        b.iter(|| {
+            k = (k + 1) % 512;
+            black_box(store.probe(&[Value::Int(k + 100_000)]).is_some())
+        })
+    });
+    g.bench_function("create_with_two_values", |b| {
+        b.iter(|| {
+            k = (k + 1) % 4096;
+            store.create(
+                vec![Value::Int(k)],
+                vec![(comp(k as u64), 1), (comp(k as u64 + 9), 1)],
+            );
+        })
+    });
+    g.bench_function("maintenance_insert_delete", |b| {
+        b.iter(|| {
+            k = (k + 1) % 512;
+            store.insert(&[Value::Int(k)], comp(77_000), 1);
+            store.delete(&[Value::Int(k)], &comp(77_000), 1);
+        })
+    });
+    g.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut g = c.benchmark_group("miss_prob_estimation");
+    g.bench_function("observe", |b| {
+        let mut est = MissProbEstimator::new(600, 8);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(est.observe(acq_sketch::fx_hash_u64(i % 300)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("candidate_enumeration");
+    for n in [4usize, 6, 9] {
+        let q = QuerySchema::star(n);
+        let orders = PlanOrders::identity(&q);
+        g.bench_function(format!("star{n}_identity"), |b| {
+            b.iter(|| {
+                black_box(enumerate_candidates(&q, &orders, &EnumerationConfig::default()).len())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// A selection instance shaped like the star(n) identity candidate family.
+fn selection_instance(n: usize) -> SelectionInstance {
+    let q = QuerySchema::star(n);
+    let orders = PlanOrders::identity(&q);
+    let cands = enumerate_candidates(&q, &orders, &EnumerationConfig::default());
+    let op_proc: Vec<Vec<f64>> = (0..n).map(|i| vec![100.0 + i as f64; n - 1]).collect();
+    let num_groups = acq::candidates::num_groups(&cands);
+    let choices = cands
+        .iter()
+        .enumerate()
+        .map(|(id, cand)| {
+            let covered: f64 = (cand.start..=cand.end)
+                .map(|j| op_proc[cand.pipeline.0 as usize][j])
+                .sum();
+            CacheChoice {
+                id,
+                pipeline: cand.pipeline.0 as usize,
+                start: cand.start,
+                end: cand.end,
+                benefit: covered * 0.6,
+                proc: covered * 0.4,
+                group: cand.group,
+            }
+        })
+        .collect();
+    SelectionInstance {
+        op_proc,
+        choices,
+        group_cost: vec![25.0; num_groups],
+    }
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("offline_selection");
+    for n in [5usize, 7, 9] {
+        let inst = selection_instance(n);
+        let m = inst.choices.len();
+        if m <= 21 {
+            // Exhaustive is O(2^m) worst case; keep the benched sizes sane.
+            g.bench_function(format!("exhaustive_m{m}"), |b| {
+                b.iter(|| black_box(solve_exhaustive(&inst).len()))
+            });
+        }
+        g.bench_function(format!("greedy_m{m}"), |b| {
+            b.iter(|| black_box(solve_greedy(&inst).len()))
+        });
+        g.bench_function(format!("recursive_m{m}"), |b| {
+            b.iter(|| black_box(solve_recursive(&inst).len()))
+        });
+        g.bench_function(format!("randomized_m{m}"), |b| {
+            b.iter(|| black_box(solve_randomized(&inst, 42).len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_lp(c: &mut Criterion) {
+    c.bench_function("simplex_20x30", |b| {
+        b.iter_batched(
+            || {
+                let mut lp = LinearProgram::minimize((0..20).map(|i| 1.0 + i as f64).collect());
+                for r in 0..30 {
+                    let coeffs: Vec<f64> = (0..20)
+                        .map(|i| ((i * 7 + r * 3) % 5) as f64 + 0.5)
+                        .collect();
+                    lp.add_ge(coeffs, 10.0 + r as f64);
+                }
+                lp
+            },
+            |lp| black_box(lp.solve()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_throughput");
+    g.sample_size(10);
+    let q = QuerySchema::chain3();
+    let updates = chain3_default(5, 100, 11).generate(20_000);
+    let orders = || {
+        PlanOrders::new(vec![
+            PipelineOrder {
+                stream: RelId(0),
+                order: vec![RelId(1), RelId(2)],
+            },
+            PipelineOrder {
+                stream: RelId(1),
+                order: vec![RelId(0), RelId(2)],
+            },
+            PipelineOrder {
+                stream: RelId(2),
+                order: vec![RelId(1), RelId(0)],
+            },
+        ])
+    };
+    g.bench_function("mjoin_plain", |b| {
+        b.iter_batched(
+            || MJoin::new(q.clone(), orders()),
+            |mut m| {
+                for u in &updates {
+                    black_box(m.process(u).len());
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("engine_forced_cache", |b| {
+        b.iter_batched(
+            || {
+                let cfg = EngineConfig {
+                    mode: CacheMode::Forced(vec![(RelId(2), vec![RelId(0), RelId(1)])]),
+                    ..Default::default()
+                };
+                AdaptiveJoinEngine::with_config(q.clone(), orders(), cfg)
+            },
+            |mut e| {
+                for u in &updates {
+                    black_box(e.process(u).len());
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("engine_adaptive", |b| {
+        b.iter_batched(
+            || AdaptiveJoinEngine::with_config(q.clone(), orders(), EngineConfig::default()),
+            |mut e| {
+                for u in &updates {
+                    black_box(e.process(u).len());
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache_store,
+    bench_bloom,
+    bench_enumeration,
+    bench_selection,
+    bench_lp,
+    bench_engine_throughput
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Run every figure/table reproduction in sequence, writing CSVs into
+//! `EXPERIMENTS_OUTPUT/`. Invokes the sibling figure binaries from the same
+//! build directory.
+
+use std::process::Command;
+
+const FIGURES: &[&str] = &[
+    "fig06_hit_prob",
+    "fig07_selectivity",
+    "fig08_update_probe",
+    "fig09_num_joins",
+    "fig10_join_cost",
+    "fig11_plan_spectrum",
+    "fig12_adaptivity",
+    "fig13_memory",
+];
+
+fn main() {
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("exe dir");
+    let mut failures = Vec::new();
+    for fig in FIGURES {
+        println!("\n──────── running {fig} ────────");
+        let status = Command::new(dir.join(fig)).status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("{fig} failed: {other:?}");
+                failures.push(*fig);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall experiments complete; CSVs in EXPERIMENTS_OUTPUT/");
+    } else {
+        eprintln!("\nfailed: {failures:?}");
+        std::process::exit(1);
+    }
+}

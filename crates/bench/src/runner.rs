@@ -1,0 +1,173 @@
+//! Drive executors over update streams and measure steady-state rates.
+
+use acq::engine::AdaptiveJoinEngine;
+use acq_mjoin::mjoin::MJoin;
+use acq_mjoin::xjoin::XJoin;
+use acq_stream::Update;
+
+/// Outcome of one measured run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunStats {
+    /// Updates processed in the measured window.
+    pub tuples: u64,
+    /// Virtual seconds elapsed in the measured window.
+    pub secs: f64,
+    /// Tuples per virtual second (the paper's y-axis).
+    pub rate: f64,
+    /// Result deltas emitted during the whole run.
+    pub outputs: u64,
+    /// Cache hits (engines only).
+    pub cache_hits: u64,
+    /// Cache misses (engines only).
+    pub cache_misses: u64,
+    /// Cache memory bytes at end of run (engines only).
+    pub cache_bytes: usize,
+}
+
+impl RunStats {
+    fn from_window(tuples: u64, ns: u64) -> RunStats {
+        let secs = ns as f64 / 1e9;
+        RunStats {
+            tuples,
+            secs,
+            rate: if secs > 0.0 {
+                tuples as f64 / secs
+            } else {
+                0.0
+            },
+            outputs: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_bytes: 0,
+        }
+    }
+}
+
+/// Run an [`AdaptiveJoinEngine`] over `updates`, measuring the post-warmup
+/// window (`warmup_frac` of the stream is excluded from rate measurement).
+pub fn run_engine(
+    engine: &mut AdaptiveJoinEngine,
+    updates: &[Update],
+    warmup_frac: f64,
+) -> RunStats {
+    let warm = (updates.len() as f64 * warmup_frac.clamp(0.0, 0.95)) as usize;
+    for u in &updates[..warm] {
+        engine.process(u);
+    }
+    let t0 = engine.counters().tuples_processed;
+    let ns0 = engine.core().now_ns();
+    for u in &updates[warm..] {
+        engine.process(u);
+    }
+    let t1 = engine.counters().tuples_processed;
+    let ns1 = engine.core().now_ns();
+    let mut s = RunStats::from_window(t1 - t0, ns1 - ns0);
+    s.outputs = engine.counters().outputs_emitted;
+    s.cache_hits = engine.counters().cache_hits;
+    s.cache_misses = engine.counters().cache_misses;
+    s.cache_bytes = engine.cache_memory_bytes();
+    s
+}
+
+/// Run a plain [`MJoin`] baseline the same way.
+pub fn run_mjoin(m: &mut MJoin, updates: &[Update], warmup_frac: f64) -> RunStats {
+    let warm = (updates.len() as f64 * warmup_frac.clamp(0.0, 0.95)) as usize;
+    for u in &updates[..warm] {
+        m.process(u);
+    }
+    let t0 = m.tuples_processed();
+    let ns0 = m.core().now_ns();
+    for u in &updates[warm..] {
+        m.process(u);
+    }
+    let mut s = RunStats::from_window(m.tuples_processed() - t0, m.core().now_ns() - ns0);
+    s.outputs = m.outputs_emitted();
+    s
+}
+
+/// Run an [`XJoin`] baseline the same way.
+pub fn run_xjoin(x: &mut XJoin, updates: &[Update], warmup_frac: f64) -> RunStats {
+    let warm = (updates.len() as f64 * warmup_frac.clamp(0.0, 0.95)) as usize;
+    for u in &updates[..warm] {
+        x.process(u);
+    }
+    let t0 = x.tuples_processed();
+    let ns0 = x.core().now_ns();
+    for u in &updates[warm..] {
+        x.process(u);
+    }
+    let mut s = RunStats::from_window(x.tuples_processed() - t0, x.core().now_ns() - ns0);
+    s.outputs = x.outputs_emitted();
+    s.cache_bytes = x.materialized_bytes();
+    s
+}
+
+/// Time-series measurement for adaptivity experiments (Figure 12): sample
+/// the instantaneous rate every `sample_every` updates. `x_of` extracts the
+/// x-axis value (e.g. cumulative ∆S tuples) from the update count.
+pub fn run_engine_timeseries(
+    engine: &mut AdaptiveJoinEngine,
+    updates: &[Update],
+    sample_every: usize,
+) -> Vec<(u64, f64)> {
+    let mut out = Vec::new();
+    let mut last_t = 0u64;
+    let mut last_ns = 0u64;
+    for (i, u) in updates.iter().enumerate() {
+        engine.process(u);
+        if (i + 1) % sample_every == 0 {
+            let t = engine.counters().tuples_processed;
+            let ns = engine.core().now_ns();
+            let dt = t - last_t;
+            let dns = ns - last_ns;
+            if dns > 0 {
+                out.push((i as u64 + 1, dt as f64 * 1e9 / dns as f64));
+            }
+            last_t = t;
+            last_ns = ns;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acq::engine::{CacheMode, EngineConfig};
+    use acq_gen::spec::chain3_default;
+    use acq_mjoin::plan::PlanOrders;
+    use acq_stream::QuerySchema;
+
+    #[test]
+    fn engine_and_mjoin_runners_measure() {
+        let q = QuerySchema::chain3();
+        let w = chain3_default(3, 30, 5).generate(600);
+        let cfg = EngineConfig {
+            mode: CacheMode::None,
+            ..Default::default()
+        };
+        let mut e = AdaptiveJoinEngine::with_config(q.clone(), PlanOrders::identity(&q), cfg);
+        let se = run_engine(&mut e, &w, 0.2);
+        assert!(se.rate > 0.0);
+        assert!(se.tuples > 0);
+
+        let mut m = MJoin::new(q.clone(), PlanOrders::identity(&q));
+        let sm = run_mjoin(&mut m, &w, 0.2);
+        assert!(sm.rate > 0.0);
+        assert_eq!(se.outputs, sm.outputs, "same deltas regardless of executor");
+    }
+
+    #[test]
+    fn timeseries_produces_samples() {
+        let q = QuerySchema::chain3();
+        let w = chain3_default(2, 20, 9).generate(500);
+        let cfg = EngineConfig {
+            mode: CacheMode::None,
+            ..Default::default()
+        };
+        let mut e = AdaptiveJoinEngine::with_config(q.clone(), PlanOrders::identity(&q), cfg);
+        let ts = run_engine_timeseries(&mut e, &w, 100);
+        assert!(ts.len() >= 4);
+        assert!(ts.iter().all(|&(_, r)| r > 0.0));
+    }
+}

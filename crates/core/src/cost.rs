@@ -1,0 +1,253 @@
+//! The cache cost model (§4.1).
+//!
+//! Under the unit-time cost metric, with `d_ij` the tuples per unit time
+//! processed by operator `./_ij` and `c_ij` its per-tuple cost:
+//!
+//! ```text
+//! benefit(C_ijk) = Σ_{l=j..k} d_il·c_il
+//!                − d_ij × probe_cost(C_ijk)
+//!                − miss_prob(C_ijk) × (Σ_{l=j..k} d_il·c_il + d_{i,k+1} × update_cost(C_ijk))
+//!
+//! cost(C_ijk)    = update_cost(C_ijk) × Σ_{l=j..k} d_{l,k−j+1}
+//!
+//! proc(C_ijk)    = d_ij × probe_cost + miss_prob × (Σ d_il·c_il + d_{i,k+1} × update_cost)
+//! ```
+//!
+//! so that maximizing `Σ benefit − cost` over a nonoverlapping candidate set
+//! equals minimizing `Σ proc + cost` with uncovered operators charged their
+//! raw `d_ij·c_ij` (§4.4). `probe_cost` and `update_cost` derive from the
+//! cache implementation (§3.3): key size (constant per cache) and the
+//! average number of tuples per cached entry `d_{i,k+1} / d_ij`.
+
+use acq_mjoin::clock::CostModel;
+
+/// Online estimates for one candidate cache, in unit-time terms.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CandidateEstimates {
+    /// `d_ij`: tuples per unit time reaching the segment's first operator.
+    pub d_in: f64,
+    /// `d_{i,k+1}`: tuples per unit time leaving the segment.
+    pub d_out: f64,
+    /// `Σ_{l=j..k} d_il·c_il`: virtual ns per unit time spent in the segment
+    /// without the cache.
+    pub seg_proc: f64,
+    /// Estimated miss probability.
+    pub miss_prob: f64,
+    /// `Σ_l d_{l,tap}`: maintenance deltas per unit time (updates to the
+    /// cached subresult computed by the segment relations' pipelines).
+    pub maint_rate: f64,
+    /// Estimated number of distinct keys the cache would hold.
+    pub expected_entries: f64,
+}
+
+impl CandidateEstimates {
+    /// Average tuples per cached entry, `d_{i,k+1} / d_ij` (Appendix A).
+    pub fn avg_entry_tuples(&self) -> f64 {
+        if self.d_in <= 0.0 {
+            0.0
+        } else {
+            self.d_out / self.d_in
+        }
+    }
+}
+
+/// The derived benefit/cost/proc triple for one candidate.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BenefitCost {
+    /// `benefit(C)`: saved ns per unit time when using the cache.
+    pub benefit: f64,
+    /// `cost(C)`: maintenance ns per unit time.
+    pub cost: f64,
+    /// `proc(C)`: ns per unit time of *using* the cache in its pipeline
+    /// (excludes maintenance).
+    pub proc: f64,
+}
+
+impl BenefitCost {
+    /// Net gain `benefit − cost`.
+    pub fn net(&self) -> f64 {
+        self.benefit - self.cost
+    }
+
+    /// Largest relative change of any component versus `other` — drives the
+    /// §4.5(c) re-optimization trigger (`p = 20%` by default).
+    pub fn max_relative_change(&self, other: &BenefitCost) -> f64 {
+        fn rc(a: f64, b: f64) -> f64 {
+            let d = a.abs().max(b.abs());
+            if d < 1e-9 {
+                0.0
+            } else {
+                (a - b).abs() / d
+            }
+        }
+        rc(self.benefit, other.benefit)
+            .max(rc(self.cost, other.cost))
+            .max(rc(self.proc, other.proc))
+    }
+}
+
+/// Per-probe cost of a cache with `key_len` key attributes: hashing +
+/// bucket lookup, plus the expected cost of splicing the cached value tuples
+/// on a hit.
+pub fn probe_cost(model: &CostModel, key_len: usize, avg_entry_tuples: f64, miss_prob: f64) -> f64 {
+    model.cache_probe(key_len) as f64
+        + (1.0 - miss_prob) * avg_entry_tuples * model.cache_hit_per_tuple as f64
+}
+
+/// Per-maintenance-delta cost: one insert/delete call plus key extraction.
+pub fn update_cost(model: &CostModel, key_len: usize) -> f64 {
+    model.cache_update(1) as f64 + key_len as f64 * model.cache_probe_per_attr as f64
+}
+
+/// Compute the §4.1 triple from estimates.
+pub fn benefit_cost(model: &CostModel, key_len: usize, e: &CandidateEstimates) -> BenefitCost {
+    let pc = probe_cost(model, key_len, e.avg_entry_tuples(), e.miss_prob);
+    let uc = update_cost(model, key_len);
+    let proc = e.d_in * pc + e.miss_prob * (e.seg_proc + e.d_out * uc);
+    let benefit = e.seg_proc - proc;
+    let cost = uc * e.maint_rate;
+    BenefitCost {
+        benefit,
+        cost,
+        proc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::default()
+    }
+
+    #[test]
+    fn zero_miss_prob_maximizes_benefit() {
+        let m = model();
+        let base = CandidateEstimates {
+            d_in: 100.0,
+            d_out: 200.0,
+            seg_proc: 100_000.0,
+            miss_prob: 0.0,
+            maint_rate: 10.0,
+            expected_entries: 50.0,
+        };
+        let all_hit = benefit_cost(&m, 1, &base);
+        let half = benefit_cost(
+            &m,
+            1,
+            &CandidateEstimates {
+                miss_prob: 0.5,
+                ..base
+            },
+        );
+        let all_miss = benefit_cost(
+            &m,
+            1,
+            &CandidateEstimates {
+                miss_prob: 1.0,
+                ..base
+            },
+        );
+        assert!(all_hit.benefit > half.benefit);
+        assert!(half.benefit > all_miss.benefit);
+        // At miss_prob 1 the cache only adds overhead: benefit < 0.
+        assert!(all_miss.benefit < 0.0);
+        // Maintenance cost is independent of miss probability.
+        assert_eq!(all_hit.cost, all_miss.cost);
+    }
+
+    #[test]
+    fn benefit_proc_duality() {
+        // benefit = seg_proc − proc by construction.
+        let m = model();
+        let e = CandidateEstimates {
+            d_in: 80.0,
+            d_out: 400.0,
+            seg_proc: 60_000.0,
+            miss_prob: 0.3,
+            maint_rate: 25.0,
+            expected_entries: 10.0,
+        };
+        let bc = benefit_cost(&m, 2, &e);
+        assert!((bc.benefit - (e.seg_proc - bc.proc)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn maintenance_scales_with_update_rate() {
+        let m = model();
+        let mut e = CandidateEstimates {
+            d_in: 10.0,
+            d_out: 10.0,
+            seg_proc: 10_000.0,
+            miss_prob: 0.1,
+            maint_rate: 5.0,
+            expected_entries: 5.0,
+        };
+        let low = benefit_cost(&m, 1, &e);
+        e.maint_rate = 50.0;
+        let high = benefit_cost(&m, 1, &e);
+        assert!((high.cost / low.cost - 10.0).abs() < 1e-9);
+        assert_eq!(
+            low.benefit, high.benefit,
+            "benefit independent of maint rate"
+        );
+        assert!(high.net() < low.net());
+    }
+
+    #[test]
+    fn bigger_keys_cost_more() {
+        let m = model();
+        assert!(update_cost(&m, 3) > update_cost(&m, 1));
+        assert!(probe_cost(&m, 3, 1.0, 0.5) > probe_cost(&m, 1, 1.0, 0.5));
+    }
+
+    #[test]
+    fn avg_entry_tuples_guard() {
+        let e = CandidateEstimates {
+            d_in: 0.0,
+            d_out: 10.0,
+            ..Default::default()
+        };
+        assert_eq!(e.avg_entry_tuples(), 0.0, "no division by zero");
+    }
+
+    #[test]
+    fn relative_change_detection() {
+        let a = BenefitCost {
+            benefit: 100.0,
+            cost: 10.0,
+            proc: 5.0,
+        };
+        let same = a;
+        assert_eq!(a.max_relative_change(&same), 0.0);
+        let drifted = BenefitCost {
+            benefit: 130.0,
+            cost: 10.0,
+            proc: 5.0,
+        };
+        let ch = a.max_relative_change(&drifted);
+        assert!(ch > 0.2 && ch < 0.3, "30/130 ≈ 0.23, got {ch}");
+        assert!((BenefitCost::default()).max_relative_change(&BenefitCost::default()) == 0.0);
+    }
+
+    #[test]
+    fn expensive_segment_cheap_cache_wins() {
+        // The Figure 10 regime: segment processing is very expensive
+        // (nested-loop joins), cache costs are tiny → huge net benefit.
+        let m = model();
+        let e = CandidateEstimates {
+            d_in: 100.0,
+            d_out: 100.0,
+            seg_proc: 10_000_000.0,
+            miss_prob: 0.2,
+            maint_rate: 100.0,
+            expected_entries: 20.0,
+        };
+        let bc = benefit_cost(&m, 1, &e);
+        assert!(
+            bc.net() > 0.5 * e.seg_proc,
+            "cache must recover most of the work"
+        );
+    }
+}

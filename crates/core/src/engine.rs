@@ -1,0 +1,1443 @@
+//! The A-Caching engine: Executor + Profiler + Re-optimizer (§4.2, Figure 4).
+//!
+//! [`AdaptiveJoinEngine`] processes a globally ordered stream of updates
+//! through MJoin pipelines while adaptively placing and removing join
+//! subresult caches:
+//!
+//! * **Executor** — walks each update through its pipeline. At positions
+//!   where a *used* cache starts, a CacheLookup probes the store; hits bypass
+//!   the cached segment, misses run it and `create` the entry (§3.2).
+//!   CacheUpdate taps feed maintenance deltas to every active cache whose
+//!   segment the current stream belongs to.
+//! * **Profiler** — a deterministic 1-in-`k` sample of tuples is processed
+//!   with caches disabled, measuring per-operator `δ_j`/`τ_j`; Bloom filters
+//!   over candidate probe streams estimate miss probabilities (§4.3,
+//!   Appendix A).
+//! * **Re-optimizer** — every interval `I`, if some candidate's
+//!   benefit/cost drifted beyond `p` (default 20%), reruns offline selection
+//!   (§4.4), reallocates memory (§5), and transitions cache states. Used
+//!   caches are monitored continuously and demoted immediately when their
+//!   net benefit goes negative (§4.5a).
+//!
+//! Globally-consistent caches (§6) relax the prefix invariant: the cached
+//! segment's deltas are *not* computed by regular join processing, so this
+//! engine computes them **separately** — on any update to a segment relation
+//! of an active global cache, the delta to the segment join is derived
+//! directly (a charged index-join of the updated tuple against the other
+//! segment relations) and applied to the store. The cached set is then
+//! exactly `σ_K(X-join)`, which satisfies the global-consistency invariant
+//! (Definition 6.1) at its upper bound. The paper instead maintains the
+//! semijoin-reduced lower bound from full-join deltas; that variant cannot
+//! repair entries for segment tuples that are unwitnessed at insert time and
+//! is unsound when the probing stream belongs to the witness set (e.g. the
+//! Figure 12 plan), so we trade a little maintenance work for correctness —
+//! see DESIGN.md.
+
+use crate::cache::CacheStore;
+use crate::candidates::{enumerate_candidates, Candidate, EnumerationConfig};
+use crate::cost::{benefit_cost, BenefitCost, CandidateEstimates};
+use crate::memory::{allocate, buckets_for, Allocation, MemoryConfig, MemoryRequest};
+use crate::profiler::{Profiler, ProfilerConfig};
+use crate::select::{self, CacheChoice, SelectionInstance};
+use acq_mjoin::exec::JoinCore;
+use acq_mjoin::ordering::GreedyOrderer;
+use acq_mjoin::plan::{CompiledOp, PlanOrders};
+use acq_mjoin::stats::OnlineStats;
+use acq_sketch::bloom::MissProbEstimator;
+use acq_sketch::WindowStat;
+use acq_stream::{Composite, Op, QuerySchema, RelId, Update, Value};
+
+/// Which offline selection algorithm the Re-optimizer runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionStrategy {
+    /// §4.4 dispatch: recursive DP when nothing is shared, exhaustive while
+    /// `m` is small, greedy beyond.
+    Auto,
+    /// Always exhaustive (exact; the paper's `P`/`G` plans use this).
+    Exhaustive,
+    /// Always the Appendix B greedy approximation.
+    Greedy,
+    /// Always the recursive tree DP (optimal without sharing).
+    Recursive,
+    /// Always LP randomized rounding with the given seed.
+    Randomized(u64),
+    /// Warm-started local search from the previous selection (§8 future
+    /// work (i): incremental re-optimization).
+    Incremental,
+}
+
+/// How cache placement is decided.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheMode {
+    /// Full A-Caching adaptivity.
+    Adaptive,
+    /// Force exactly these caches (pipeline, sorted segment rels) into the
+    /// used state forever — the §7.2 single-cache experiments.
+    Forced(Vec<(RelId, Vec<RelId>)>),
+    /// Never use caches (a plain MJoin driven through the same engine, for
+    /// apples-to-apples overhead comparisons).
+    None,
+}
+
+/// When the Re-optimizer wakes up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReoptInterval {
+    /// Every `I` virtual nanoseconds (paper default: 2 s).
+    VirtualNs(u64),
+    /// Every `I` processed updates (Figure 12 uses 10,000 tuples).
+    Tuples(u64),
+}
+
+/// Engine configuration. Defaults mirror §7.1.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Profiler settings (`W = 10` by default).
+    pub profiler: ProfilerConfig,
+    /// Re-optimization interval `I` (default 2 virtual seconds).
+    pub reopt_interval: ReoptInterval,
+    /// Statistics/monitoring epoch (used-cache demotion checks, rate rolls);
+    /// default `I / 4`.
+    pub stats_epoch_ns: u64,
+    /// Re-optimization trigger threshold `p` (§4.5c; default 0.2).
+    pub p_threshold: f64,
+    /// Candidate enumeration options (min segment, globally-consistent
+    /// quota).
+    pub enumeration: EnumerationConfig,
+    /// Memory allocator settings (§5).
+    pub memory: MemoryConfig,
+    /// Selection algorithm.
+    pub selection: SelectionStrategy,
+    /// Exhaustive search cap for [`SelectionStrategy::Auto`].
+    pub exhaustive_limit: usize,
+    /// Cache placement mode.
+    pub mode: CacheMode,
+    /// Re-derive pipeline orders adaptively at re-optimization boundaries
+    /// (A-Greedy \[5\]); affected pipelines' caches are flushed (§4.5 step 5).
+    pub adaptive_ordering: bool,
+    /// Demote used caches immediately when net benefit turns negative
+    /// (§4.5a).
+    pub monitor_used: bool,
+    /// Cache-store associativity (1 = the paper's direct-mapped scheme;
+    /// 2/4/8-way round-robin implements §3.3's "other low-overhead cache
+    /// replacement schemes" future work).
+    pub cache_ways: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            profiler: ProfilerConfig::default(),
+            reopt_interval: ReoptInterval::VirtualNs(2_000_000_000),
+            stats_epoch_ns: 250_000_000,
+            p_threshold: 0.2,
+            enumeration: EnumerationConfig::default(),
+            memory: MemoryConfig::default(),
+            selection: SelectionStrategy::Auto,
+            exhaustive_limit: 20,
+            mode: CacheMode::Adaptive,
+            adaptive_ordering: false,
+            monitor_used: true,
+            cache_ways: 1,
+        }
+    }
+}
+
+/// Lifecycle state of a candidate cache (§4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheState {
+    /// Being used in join processing.
+    Used,
+    /// Not used; benefit/cost being estimated.
+    Profiled,
+    /// Neither used nor (actively) considered until the next
+    /// re-optimization.
+    Unused,
+}
+
+/// Per-candidate runtime state.
+#[derive(Debug)]
+struct CandRuntime {
+    cand: Candidate,
+    state: CacheState,
+    miss_est: MissProbEstimator,
+    /// Last `W` miss-probability observations (Bloom windows or direct
+    /// observation while used).
+    miss_window: WindowStat,
+    /// Benefit/cost at the last selection (the §4.5c drift reference).
+    bc_at_selection: Option<BenefitCost>,
+    /// Most recent benefit/cost estimate.
+    bc_now: Option<BenefitCost>,
+    /// Virtual time when the candidate last entered the used state. Caches
+    /// are populated incrementally (§3.2), so the §4.5a demotion monitor
+    /// grants a warmup grace period — early probes of an empty store miss by
+    /// construction and say nothing about steady-state benefit.
+    used_since_ns: u64,
+}
+
+/// One maintenance tap: feed segment deltas of `group` at a pipeline
+/// position.
+#[derive(Debug, Clone)]
+struct Tap {
+    group: usize,
+    segment: Vec<RelId>,
+    maint_attrs: Vec<acq_stream::AttrRef>,
+}
+
+/// Per-pipeline execution plan derived from candidate states.
+#[derive(Debug, Default)]
+struct PipelinePlan {
+    /// `lookup[j]` = used candidate starting at position `j`.
+    lookup: Vec<Option<usize>>,
+    /// `taps[j]` = plain-cache maintenance taps before position `j`.
+    taps: Vec<Vec<Tap>>,
+    /// `bloom[j]` = profiled candidates whose probe stream passes position
+    /// `j`.
+    bloom: Vec<Vec<usize>>,
+    /// Globally-consistent groups whose segment contains this pipeline's
+    /// stream: their segment-join delta is computed separately on every
+    /// update to this relation.
+    gc_direct: Vec<Tap>,
+}
+
+/// Aggregate engine counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineCounters {
+    /// Updates processed.
+    pub tuples_processed: u64,
+    /// Result deltas emitted.
+    pub outputs_emitted: u64,
+    /// Cache probes that hit.
+    pub cache_hits: u64,
+    /// Cache probes that missed.
+    pub cache_misses: u64,
+    /// Re-optimizations performed (offline algorithm runs).
+    pub reoptimizations: u64,
+    /// Immediate demotions of used caches (§4.5a).
+    pub demotions: u64,
+    /// Pipeline reorderings.
+    pub reorderings: u64,
+}
+
+/// One entry of the adaptivity event log — what the Re-optimizer did and
+/// when (virtual time). Useful for operators debugging plan churn and for
+/// the adaptivity experiments' narratives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdaptivityEvent {
+    /// The offline selection ran; these caches are now used.
+    Selected {
+        /// Virtual time (ns).
+        at_ns: u64,
+        /// Names of the used caches after the selection.
+        caches: Vec<String>,
+    },
+    /// A used cache was demoted by the §4.5a monitor (net benefit < 0).
+    Demoted {
+        /// Virtual time (ns).
+        at_ns: u64,
+        /// Name of the demoted cache.
+        cache: String,
+    },
+    /// Pipeline orders changed (A-Greedy violation); caches were flushed.
+    Reordered {
+        /// Virtual time (ns).
+        at_ns: u64,
+    },
+}
+
+/// Maximum retained adaptivity events (oldest dropped beyond this).
+const MAX_EVENTS: usize = 512;
+
+/// The adaptive stream-join engine.
+#[derive(Debug)]
+pub struct AdaptiveJoinEngine {
+    core: JoinCore,
+    orders: PlanOrders,
+    compiled: Vec<Vec<CompiledOp>>,
+    config: EngineConfig,
+    profiler: Profiler,
+    online: OnlineStats,
+    cands: Vec<CandRuntime>,
+    /// One store per shared group (Definition 4.1) — `Some` while any member
+    /// is used.
+    stores: Vec<Option<CacheStore>>,
+    group_count: usize,
+    plans: Vec<PipelinePlan>,
+    counters: EngineCounters,
+    last_reopt_ns: u64,
+    last_reopt_tuples: u64,
+    last_epoch_ns: u64,
+    orderer: GreedyOrderer,
+    /// Consecutive re-optimizations that left the used-cache set unchanged
+    /// (§8 future work (ii): statistics whose significant changes tend not
+    /// to produce new selections get progressively damped by widening the
+    /// effective trigger threshold).
+    fruitless_streak: u32,
+    /// Scratch buffers reused across updates.
+    scratch_next: Vec<Composite>,
+    /// Bounded adaptivity event log.
+    events: std::collections::VecDeque<AdaptivityEvent>,
+}
+
+impl AdaptiveJoinEngine {
+    /// Build an engine with default §7.1 settings and identity pipeline
+    /// orders.
+    pub fn new(query: QuerySchema) -> AdaptiveJoinEngine {
+        let orders = PlanOrders::identity(&query);
+        AdaptiveJoinEngine::with_config(query, orders, EngineConfig::default())
+    }
+
+    /// Build with explicit orders and configuration.
+    pub fn with_config(
+        query: QuerySchema,
+        orders: PlanOrders,
+        config: EngineConfig,
+    ) -> AdaptiveJoinEngine {
+        orders.validate(&query).expect("invalid plan orders");
+        let core = JoinCore::new(query);
+        AdaptiveJoinEngine::from_core(core, orders, config)
+    }
+
+    /// Build from a preconfigured [`JoinCore`] (custom indexes/cost model).
+    pub fn from_core(
+        core: JoinCore,
+        orders: PlanOrders,
+        config: EngineConfig,
+    ) -> AdaptiveJoinEngine {
+        let n = core.query().num_relations();
+        let num_ops: Vec<usize> = orders.pipelines.iter().map(|p| p.order.len()).collect();
+        let profiler = Profiler::new(config.profiler, &num_ops);
+        let compiled = orders
+            .pipelines
+            .iter()
+            .map(|p| CompiledOp::compile_pipeline(core.query(), core.relations(), p))
+            .collect();
+        let mut engine = AdaptiveJoinEngine {
+            online: OnlineStats::new(n, config.profiler.w, 0.01),
+            core,
+            orders,
+            compiled,
+            profiler,
+            cands: Vec::new(),
+            stores: Vec::new(),
+            group_count: 0,
+            plans: Vec::new(),
+            counters: EngineCounters::default(),
+            last_reopt_ns: 0,
+            last_reopt_tuples: 0,
+            last_epoch_ns: 0,
+            orderer: GreedyOrderer::default(),
+            fruitless_streak: 0,
+            scratch_next: Vec::new(),
+            events: std::collections::VecDeque::new(),
+            config,
+        };
+        engine.rebuild_candidates();
+        engine.apply_forced_mode();
+        engine
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+
+    /// The execution core.
+    pub fn core(&self) -> &JoinCore {
+        &self.core
+    }
+
+    /// Mutable core access (experiments drop indexes etc.; call
+    /// [`AdaptiveJoinEngine::recompile`] afterwards).
+    pub fn core_mut(&mut self) -> &mut JoinCore {
+        &mut self.core
+    }
+
+    /// Current pipeline orders.
+    pub fn orders(&self) -> &PlanOrders {
+        &self.orders
+    }
+
+    /// Engine counters.
+    pub fn counters(&self) -> EngineCounters {
+        self.counters
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// All candidates with their states.
+    pub fn candidate_states(&self) -> Vec<(&Candidate, CacheState)> {
+        self.cands.iter().map(|c| (&c.cand, c.state)).collect()
+    }
+
+    /// Names of currently used caches.
+    pub fn used_caches(&self) -> Vec<String> {
+        self.cands
+            .iter()
+            .filter(|c| c.state == CacheState::Used)
+            .map(|c| c.cand.name())
+            .collect()
+    }
+
+    /// Total bytes held by cache stores (Figure 13's memory axis).
+    pub fn cache_memory_bytes(&self) -> usize {
+        self.stores
+            .iter()
+            .flatten()
+            .map(CacheStore::memory_bytes)
+            .sum()
+    }
+
+    /// Updates per virtual second (the paper's tuple-processing rate).
+    pub fn processing_rate(&self) -> f64 {
+        let secs = self.core.now_secs();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.counters.tuples_processed as f64 / secs
+        }
+    }
+
+    /// Recompile operators after external index changes.
+    pub fn recompile(&mut self) {
+        self.compiled = self
+            .orders
+            .pipelines
+            .iter()
+            .map(|p| CompiledOp::compile_pipeline(self.core.query(), self.core.relations(), p))
+            .collect();
+    }
+
+    // ------------------------------------------------------------------
+    // Candidate lifecycle
+
+    fn rebuild_candidates(&mut self) {
+        let candidates =
+            enumerate_candidates(self.core.query(), &self.orders, &self.config.enumeration);
+        self.group_count = crate::candidates::num_groups(&candidates);
+        self.stores = (0..self.group_count).map(|_| None).collect();
+        self.cands = candidates
+            .into_iter()
+            .map(|cand| CandRuntime {
+                cand,
+                state: CacheState::Profiled,
+                miss_est: self.profiler.new_miss_estimator(),
+                miss_window: WindowStat::new(self.config.profiler.w),
+                bc_at_selection: None,
+                bc_now: None,
+                used_since_ns: 0,
+            })
+            .collect();
+        self.rebuild_plans();
+    }
+
+    fn apply_forced_mode(&mut self) {
+        let forced = match &self.config.mode {
+            CacheMode::Forced(list) => list.clone(),
+            CacheMode::None => {
+                for c in &mut self.cands {
+                    c.state = CacheState::Unused;
+                }
+                self.rebuild_plans();
+                return;
+            }
+            CacheMode::Adaptive => return,
+        };
+        for c in &mut self.cands {
+            let mut seg = c.cand.segment.clone();
+            seg.sort_unstable();
+            let matched = forced.iter().any(|(p, s)| {
+                let mut s = s.clone();
+                s.sort_unstable();
+                *p == c.cand.pipeline && s == seg
+            });
+            c.state = if matched {
+                CacheState::Used
+            } else {
+                CacheState::Unused
+            };
+        }
+        // Materialize stores for forced groups.
+        for i in 0..self.cands.len() {
+            if self.cands[i].state == CacheState::Used {
+                let g = self.cands[i].cand.group;
+                if self.stores[g].is_none() {
+                    self.stores[g] =
+                        Some(CacheStore::with_associativity(1024, self.config.cache_ways));
+                }
+            }
+        }
+        self.rebuild_plans();
+    }
+
+    /// Rebuild per-pipeline execution plans from candidate states.
+    fn rebuild_plans(&mut self) {
+        let n = self.orders.pipelines.len();
+        let mut plans: Vec<PipelinePlan> = (0..n)
+            .map(|i| {
+                let ops = self.orders.pipelines[i].order.len();
+                PipelinePlan {
+                    lookup: vec![None; ops],
+                    taps: (0..ops).map(|_| Vec::new()).collect(),
+                    bloom: (0..ops).map(|_| Vec::new()).collect(),
+                    gc_direct: Vec::new(),
+                }
+            })
+            .collect();
+
+        // Active groups: any used member.
+        let mut group_used = vec![false; self.group_count];
+        for c in &self.cands {
+            if c.state == CacheState::Used {
+                group_used[c.cand.group] = true;
+            }
+        }
+        // Drop stores of inactive groups; create stores of newly active ones
+        // happen in apply_selection (they need sizing); forced mode created
+        // them directly.
+        for (g, used) in group_used.iter().enumerate() {
+            if !used {
+                self.stores[g] = None;
+            }
+        }
+
+        let mut tap_added: Vec<(usize, RelId)> = Vec::new(); // (group, pipeline) dedupe
+        for c in &self.cands {
+            match c.state {
+                CacheState::Used => {
+                    let pi = c.cand.pipeline.0 as usize;
+                    plans[pi].lookup[c.cand.start] = Some(self.cand_index(&c.cand));
+                }
+                CacheState::Profiled => {
+                    let pi = c.cand.pipeline.0 as usize;
+                    plans[pi].bloom[c.cand.start].push(self.cand_index(&c.cand));
+                }
+                CacheState::Unused => {}
+            }
+        }
+        // Maintenance taps for active groups (one per group per member
+        // pipeline).
+        for c in &self.cands {
+            let g = c.cand.group;
+            if !group_used[g] {
+                continue;
+            }
+            let tap = Tap {
+                group: g,
+                segment: c.cand.segment.clone(),
+                maint_attrs: c.cand.maint_attrs.clone(),
+            };
+            if c.cand.is_global() {
+                // Maintained by separate delta computation on updates to
+                // segment relations.
+                for &l in &c.cand.segment {
+                    if tap_added.contains(&(g, l)) {
+                        continue;
+                    }
+                    tap_added.push((g, l));
+                    plans[l.0 as usize].gc_direct.push(tap.clone());
+                }
+            } else {
+                let tap_pos = c.cand.segment.len() - 1;
+                for &l in &c.cand.segment {
+                    if tap_added.contains(&(g, l)) {
+                        continue;
+                    }
+                    tap_added.push((g, l));
+                    plans[l.0 as usize].taps[tap_pos].push(tap.clone());
+                }
+            }
+        }
+        // Safety net: no used cache may cover another group's maintenance
+        // tap strictly inside its span (taps at the cache's own start
+        // position fire before the lookup and are fine). The adaptive
+        // re-optimizer resolves these conflicts before applying a selection;
+        // a Forced configuration that violates this would silently corrupt
+        // cache consistency, so refuse it loudly.
+        for (pi, plan) in plans.iter().enumerate() {
+            for (j, lookup) in plan.lookup.iter().enumerate() {
+                let Some(ci) = lookup else { continue };
+                let end = self.cands[*ci].cand.end;
+                for t in (j + 1)..=end {
+                    assert!(
+                        plan.taps[t].is_empty(),
+                        "used cache {} covers a maintenance tap at pipeline {pi} position {t}; \
+                         this configuration starves that cache's maintenance",
+                        self.cands[*ci].cand.name()
+                    );
+                }
+            }
+        }
+        self.plans = plans;
+    }
+
+    fn cand_index(&self, cand: &Candidate) -> usize {
+        self.cands
+            .iter()
+            .position(|c| std::ptr::eq(&c.cand, cand))
+            .expect("candidate belongs to engine")
+    }
+
+    // ------------------------------------------------------------------
+    // Processing
+
+    /// Process one update, returning the n-way join result deltas.
+    pub fn process(&mut self, u: &Update) -> Vec<(Op, Composite)> {
+        self.counters.tuples_processed += 1;
+        self.profiler.record_update(u.rel);
+        self.online.record_update(u.rel);
+
+        // Globally-consistent invalidation must see the delete *before*
+        // store application is irrelevant (we invalidate by tuple identity
+        // after removal — we need the removed tuple's id, so apply first).
+        let Some(tref) = self.core.apply_update(u) else {
+            self.maybe_housekeeping();
+            return Vec::new();
+        };
+        self.online
+            .record_size(u.rel, self.core.relation(u.rel).len());
+
+        let pi = u.rel.0 as usize;
+        // Globally-consistent maintenance: compute the segment-join delta
+        // separately (§6; the prefix invariant doesn't hand it to us) and
+        // apply it before any pipeline runs.
+        if !self.plans[pi].gc_direct.is_empty() {
+            let taps = self.plans[pi].gc_direct.clone();
+            self.maintain_gc_direct(&taps, u.rel, &tref, u.op);
+        }
+
+        let profiled = self.profiler.should_profile(u.rel);
+        let outputs = self.run_pipeline(pi, Composite::unit(tref), u.op, profiled);
+
+        self.core.charge_outputs(outputs.len());
+        self.counters.outputs_emitted += outputs.len() as u64;
+        self.maybe_housekeeping();
+        outputs.into_iter().map(|c| (u.op, c)).collect()
+    }
+
+    /// Walk one composite through pipeline `pi`, honouring caches, taps, and
+    /// profiling.
+    fn run_pipeline(
+        &mut self,
+        pi: usize,
+        seed: Composite,
+        op_kind: Op,
+        profiled: bool,
+    ) -> Vec<Composite> {
+        let num_ops = self.compiled[pi].len();
+        let mut frontier = vec![seed];
+        let mut profile_rec: Vec<(f64, u64)> = if profiled {
+            Vec::with_capacity(num_ops + 1)
+        } else {
+            Vec::new()
+        };
+        if profiled {
+            self.core.charge(self.core.cost_model().profile_overhead);
+        }
+
+        let mut j = 0usize;
+        while j < num_ops {
+            // (a) plain-cache maintenance taps at this position.
+            if !self.plans[pi].taps[j].is_empty() && !frontier.is_empty() {
+                let taps = self.plans[pi].taps[j].clone();
+                self.feed_plain_taps(&taps, &frontier, op_kind);
+            }
+            // (b) Bloom probe-stream feeds for profiled candidates.
+            if !self.plans[pi].bloom[j].is_empty() && !frontier.is_empty() {
+                let feed: Vec<usize> = self.plans[pi].bloom[j].clone();
+                self.feed_bloom(&feed, &frontier);
+            }
+            if frontier.is_empty() {
+                // Record zeroes for remaining positions if profiling.
+                if profiled {
+                    profile_rec.push((0.0, 0));
+                }
+                j += 1;
+                continue;
+            }
+            // (c) CacheLookup (skipped for profiled tuples, §4.3/App. A).
+            let lookup = if profiled {
+                None
+            } else {
+                self.plans[pi].lookup[j]
+            };
+            if let Some(ci) = lookup {
+                let (end, hit_out) = self.cache_segment(pi, ci, &frontier, op_kind);
+                frontier = hit_out;
+                j = end + 1;
+                continue;
+            }
+            // (d) plain operator execution.
+            let t0 = self.core.now_ns();
+            let in_count = frontier.len();
+            self.scratch_next.clear();
+            let op = &self.compiled[pi][j];
+            let mut next = std::mem::take(&mut self.scratch_next);
+            for c in &frontier {
+                let before = next.len();
+                self.core.probe_join(c, op, &mut next);
+                let total_preds = op.index_access.is_some() as usize + op.residual.len();
+                if total_preds == 1 {
+                    let source = op
+                        .index_access
+                        .map(|(_, p)| p.rel)
+                        .unwrap_or_else(|| op.residual[0].1.rel);
+                    self.online.record_probe(
+                        source,
+                        op.target,
+                        next.len() - before,
+                        self.core.relation(op.target).len(),
+                    );
+                }
+            }
+            if profiled {
+                profile_rec.push((in_count as f64, self.core.now_ns() - t0));
+            }
+            std::mem::swap(&mut frontier, &mut next);
+            self.scratch_next = next;
+            self.scratch_next.clear();
+            j += 1;
+        }
+
+        if profiled {
+            profile_rec.push((frontier.len() as f64, 0));
+            // Pad to positions+1 if cache bypass shortened the walk — cannot
+            // happen for profiled tuples (caches disabled), assert instead.
+            debug_assert_eq!(profile_rec.len(), num_ops + 1);
+            self.profiler
+                .record_profiled(RelId(pi as u16), &profile_rec);
+        }
+        frontier
+    }
+
+    /// Probe a used cache for every frontier composite; on miss, run the
+    /// covered segment and `create` the entry. Returns (segment end
+    /// position, resulting frontier).
+    fn cache_segment(
+        &mut self,
+        pi: usize,
+        ci: usize,
+        frontier: &[Composite],
+        op_kind: Op,
+    ) -> (usize, Vec<Composite>) {
+        let (start, end, group, key_attrs, segment, is_global) = {
+            let c = &self.cands[ci].cand;
+            (
+                c.start,
+                c.end,
+                c.group,
+                c.probe_attrs.clone(),
+                c.segment.clone(),
+                c.is_global(),
+            )
+        };
+        let key_len = key_attrs.len();
+        let model_probe = self.core.cost_model().cache_probe(key_len);
+        let model_hit_per_tuple = self.core.cost_model().cache_hit_per_tuple;
+        let mut out = Vec::new();
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+
+        for c in frontier {
+            let key: Vec<Value> = key_attrs
+                .iter()
+                .map(|a| c.get(*a).expect("probe attrs bound in prefix").clone())
+                .collect();
+            self.core.charge(model_probe);
+            let cached: Option<Vec<Composite>> = {
+                let store = self.stores[group].as_mut().expect("used cache has a store");
+                store.probe(&key).map(|e| e.composites().cloned().collect())
+            };
+            match cached {
+                Some(values) => {
+                    hits += 1;
+                    self.core.charge(values.len() as u64 * model_hit_per_tuple);
+                    for v in &values {
+                        out.push(c.concat(v));
+                    }
+                }
+                None => {
+                    misses += 1;
+                    // Run the covered segment for this composite alone.
+                    let mut seg_frontier = vec![c.clone()];
+                    let mut next = Vec::new();
+                    for op in &self.compiled[pi][start..=end] {
+                        next.clear();
+                        for f in &seg_frontier {
+                            self.core.probe_join(f, op, &mut next);
+                        }
+                        std::mem::swap(&mut seg_frontier, &mut next);
+                        if seg_frontier.is_empty() {
+                            break;
+                        }
+                    }
+                    // create(u, v): v restricted to segment relations.
+                    let values: Vec<(Composite, u32)> = seg_frontier
+                        .iter()
+                        .filter_map(|f| f.restrict(&segment))
+                        .map(|v| (v, 1))
+                        .collect();
+                    let create_cost = self.core.cost_model().cache_update(values.len());
+                    {
+                        let store = self.stores[group].as_mut().expect("store exists");
+                        store.create(key, values);
+                    }
+                    self.core.charge(create_cost);
+                    out.extend(seg_frontier);
+                }
+            }
+        }
+        // For deletes probing a *global* cache the semantics are identical:
+        // cached values reflect the current segment join (upper bound), and
+        // the probing prefix tuple was already removed from its store.
+        let _ = (op_kind, is_global);
+        self.counters.cache_hits += hits;
+        self.counters.cache_misses += misses;
+        (end, out)
+    }
+
+    /// Feed plain-cache maintenance deltas (§3.2): the frontier at the tap
+    /// position, restricted to the segment, inserted/deleted per the update's
+    /// kind.
+    fn feed_plain_taps(&mut self, taps: &[Tap], frontier: &[Composite], op_kind: Op) {
+        let mut cost = 0u64;
+        for tap in taps {
+            let Some(store) = self.stores[tap.group].as_mut() else {
+                continue;
+            };
+            for c in frontier {
+                let Some(seg) = c.restrict(&tap.segment) else {
+                    continue;
+                };
+                let key: Vec<Value> = tap
+                    .maint_attrs
+                    .iter()
+                    .map(|a| seg.get(*a).expect("maint attrs bound in segment").clone())
+                    .collect();
+                match op_kind {
+                    Op::Insert => store.insert(&key, seg, 1),
+                    Op::Delete => store.delete(&key, &seg, 1),
+                }
+                cost += 1;
+            }
+        }
+        let per = self.core.cost_model().cache_update(1);
+        self.core.charge(cost * per);
+    }
+
+    /// Separately-computed maintenance for globally-consistent caches: join
+    /// the updated tuple with the other segment relations (charged through
+    /// the normal operator costs) and apply the resulting segment-join delta.
+    fn maintain_gc_direct(
+        &mut self,
+        taps: &[Tap],
+        rel: RelId,
+        tref: &acq_stream::TupleRef,
+        op_kind: Op,
+    ) {
+        for tap in taps {
+            if self.stores[tap.group].is_none() {
+                continue;
+            }
+            // Progressive join through the remaining segment relations.
+            let mut frontier = vec![Composite::unit(tref.clone())];
+            let mut done: Vec<RelId> = vec![rel];
+            let mut next = Vec::new();
+            for &target in tap.segment.iter().filter(|&&r| r != rel) {
+                let op =
+                    CompiledOp::compile(self.core.query(), self.core.relations(), &done, target);
+                next.clear();
+                for c in &frontier {
+                    self.core.probe_join(c, &op, &mut next);
+                }
+                std::mem::swap(&mut frontier, &mut next);
+                done.push(target);
+                if frontier.is_empty() {
+                    break;
+                }
+            }
+            if frontier.is_empty() {
+                continue;
+            }
+            let per = self.core.cost_model().cache_update(1);
+            self.core.charge(frontier.len() as u64 * per);
+            let store = self.stores[tap.group].as_mut().expect("checked above");
+            for c in &frontier {
+                let Some(seg) = c.restrict(&tap.segment) else {
+                    continue;
+                };
+                let key: Vec<Value> = tap
+                    .maint_attrs
+                    .iter()
+                    .map(|a| seg.get(*a).expect("maint attrs bound").clone())
+                    .collect();
+                match op_kind {
+                    Op::Insert => store.insert(&key, seg, 1),
+                    Op::Delete => store.delete(&key, &seg, 1),
+                }
+            }
+        }
+    }
+
+    /// Feed Bloom miss-probability estimators with probe-key hashes.
+    fn feed_bloom(&mut self, cand_idxs: &[usize], frontier: &[Composite]) {
+        let bloom_cost = self.core.cost_model().bloom_insert;
+        let mut charged = 0u64;
+        for &ci in cand_idxs {
+            // Split borrows: candidate data cloned is cheap (attr list).
+            let attrs = self.cands[ci].cand.probe_attrs.clone();
+            for c in frontier {
+                let mut h = acq_sketch::FxHasher::default();
+                for a in &attrs {
+                    c.get(*a).expect("probe attr bound").hash_into(&mut h);
+                }
+                use std::hash::Hasher;
+                let obs = self.cands[ci].miss_est.observe(h.finish());
+                if let Some(miss) = obs {
+                    self.cands[ci].miss_window.push(miss);
+                }
+                charged += 1;
+            }
+        }
+        self.core.charge(charged * bloom_cost);
+    }
+
+    // ------------------------------------------------------------------
+    // Adaptivity
+
+    fn maybe_housekeeping(&mut self) {
+        let now = self.core.now_ns();
+        if now.saturating_sub(self.last_epoch_ns) >= self.config.stats_epoch_ns {
+            self.stats_epoch(now);
+        }
+        if self.config.mode != CacheMode::Adaptive {
+            return;
+        }
+        let due = match self.config.reopt_interval {
+            ReoptInterval::VirtualNs(i) => now.saturating_sub(self.last_reopt_ns) >= i,
+            ReoptInterval::Tuples(t) => {
+                self.counters
+                    .tuples_processed
+                    .saturating_sub(self.last_reopt_tuples)
+                    >= t
+            }
+        };
+        if due {
+            self.reoptimize(now);
+        }
+    }
+
+    /// Per-epoch statistics maintenance and used-cache monitoring (§4.5a).
+    fn stats_epoch(&mut self, now: u64) {
+        self.last_epoch_ns = now;
+        self.profiler.roll_rates(now);
+        // Observed miss probability for used caches.
+        for ci in 0..self.cands.len() {
+            if self.cands[ci].state != CacheState::Used {
+                continue;
+            }
+            let g = self.cands[ci].cand.group;
+            // Gate the direct observation on a minimum probe count: a
+            // two-probe epoch against a freshly created store observes
+            // "miss" by construction, not by workload.
+            let min_probes = (self.config.profiler.bloom_window / 4).max(8) as u64;
+            if let Some(store) = self.stores[g].as_mut() {
+                let s = store.stats();
+                if s.hits + s.misses >= min_probes {
+                    if let Some(mp) = s.miss_prob() {
+                        self.cands[ci].miss_window.push(mp);
+                    }
+                    store.reset_stats();
+                }
+            }
+        }
+        if self.config.monitor_used && self.config.mode == CacheMode::Adaptive {
+            let grace = self.config.stats_epoch_ns.saturating_mul(2);
+            let mut any_demoted = false;
+            for ci in 0..self.cands.len() {
+                if self.cands[ci].state != CacheState::Used {
+                    continue;
+                }
+                if now.saturating_sub(self.cands[ci].used_since_ns) < grace {
+                    continue; // §3.2: populated incrementally — let it warm up
+                }
+                if let Some(bc) = self.estimate(ci) {
+                    self.cands[ci].bc_now = Some(bc);
+                    if bc.net() < 0.0 {
+                        self.cands[ci].state = CacheState::Unused;
+                        self.counters.demotions += 1;
+                        let name = self.cands[ci].cand.name();
+                        self.log_event(AdaptivityEvent::Demoted {
+                            at_ns: now,
+                            cache: name,
+                        });
+                        any_demoted = true;
+                    }
+                }
+            }
+            if any_demoted {
+                self.rebuild_plans();
+            }
+        }
+    }
+
+    /// Estimate benefit/cost for one candidate from current profiler state.
+    /// `None` when statistics aren't warm enough to trust.
+    fn estimate(&self, ci: usize) -> Option<BenefitCost> {
+        let cr = &self.cands[ci];
+        let c = &cr.cand;
+        let i = c.pipeline;
+        if !self.profiler.pipeline_warm(i) {
+            return None;
+        }
+        let miss = cr.miss_window.average()?;
+        let d_in = self.profiler.d(i, c.start);
+        let d_out = self.profiler.d(i, c.end + 1);
+        let seg_proc: f64 = (c.start..=c.end).map(|j| self.profiler.op_proc(i, j)).sum();
+        let maint_rate = if c.is_global() {
+            // Separate maintenance: each segment-relation update joins with
+            // the other segment relations; its delta size is approximately
+            // the average entry size.
+            let avg_entry = if d_in > 0.0 {
+                (d_out / d_in).max(1.0)
+            } else {
+                1.0
+            };
+            let update_rate: f64 = c.segment.iter().map(|&l| self.profiler.rate(l)).sum();
+            update_rate * avg_entry
+        } else {
+            let tap_pos = c.segment.len() - 1;
+            c.segment.iter().map(|&l| self.profiler.d(l, tap_pos)).sum()
+        };
+        let est = CandidateEstimates {
+            d_in,
+            d_out,
+            seg_proc,
+            miss_prob: miss,
+            maint_rate,
+            expected_entries: self.expected_entries(d_in, miss),
+        };
+        Some(benefit_cost(
+            self.core.cost_model(),
+            c.key_classes.len(),
+            &est,
+        ))
+    }
+
+    fn expected_entries(&self, d_in: f64, miss: f64) -> f64 {
+        let horizon = match self.config.reopt_interval {
+            ReoptInterval::VirtualNs(i) => i as f64 / 1e9,
+            ReoptInterval::Tuples(_) => 1.0,
+        };
+        (miss * d_in * horizon).clamp(16.0, 1_048_576.0)
+    }
+
+    /// The §4.5 re-optimization step.
+    fn reoptimize(&mut self, now: u64) {
+        self.last_reopt_ns = now;
+        self.last_reopt_tuples = self.counters.tuples_processed;
+
+        // Optional adaptive reordering first (§4.5 step 5): changed pipelines
+        // flush caches and candidates.
+        if self.config.adaptive_ordering {
+            let stats = self.online.snapshot(now);
+            if let Some(fresh) =
+                self.orderer
+                    .check_violation(self.core.query(), &stats, &self.orders)
+            {
+                self.set_orders(fresh);
+                self.counters.reorderings += 1;
+                self.log_event(AdaptivityEvent::Reordered { at_ns: now });
+                return; // fresh candidates need profiling before selection
+            }
+        }
+
+        // Estimates for all candidates.
+        let mut est: Vec<Option<BenefitCost>> = Vec::with_capacity(self.cands.len());
+        for ci in 0..self.cands.len() {
+            est.push(self.estimate(ci));
+        }
+        for (cr, e) in self.cands.iter_mut().zip(&est) {
+            cr.bc_now = *e;
+        }
+
+        // §4.5c trigger: skip the offline algorithm when nothing drifted
+        // beyond p since the last selection. Fruitless re-optimizations
+        // (selection unchanged) widen the effective threshold up to 4× —
+        // the paper's §8(ii) "unimportant statistics" idea in aggregate form.
+        let effective_p =
+            self.config.p_threshold * (1.0 + 0.5 * self.fruitless_streak as f64).min(4.0);
+        let drifted = self
+            .cands
+            .iter()
+            .zip(&est)
+            .any(|(cr, e)| match (cr.bc_at_selection, e) {
+                (Some(prev), Some(cur)) => prev.max_relative_change(cur) > effective_p,
+                (None, Some(_)) => true, // newly estimable candidate
+                _ => false,
+            });
+        if !drifted {
+            return;
+        }
+        self.counters.reoptimizations += 1;
+        self.core.charge(self.core.cost_model().reoptimize);
+
+        // Build the selection instance over estimable candidates.
+        let op_proc: Vec<Vec<f64>> = self
+            .orders
+            .pipelines
+            .iter()
+            .map(|p| {
+                (0..p.order.len())
+                    .map(|j| self.profiler.op_proc(p.stream, j))
+                    .collect()
+            })
+            .collect();
+        let mut choices = Vec::new();
+        let mut group_cost = vec![0.0; self.group_count];
+        for (ci, (cr, e)) in self.cands.iter().zip(&est).enumerate() {
+            let Some(bc) = e else { continue };
+            choices.push(CacheChoice {
+                id: ci,
+                pipeline: cr.cand.pipeline.0 as usize,
+                start: cr.cand.start,
+                end: cr.cand.end,
+                benefit: bc.benefit,
+                proc: bc.proc,
+                group: cr.cand.group,
+            });
+            group_cost[cr.cand.group] = bc.cost;
+        }
+        let instance = SelectionInstance {
+            op_proc,
+            choices,
+            group_cost,
+        };
+        let sol = match self.config.selection {
+            SelectionStrategy::Auto => select::solve_auto(&instance, self.config.exhaustive_limit),
+            SelectionStrategy::Exhaustive => select::solve_exhaustive(&instance),
+            SelectionStrategy::Greedy => select::solve_greedy(&instance),
+            SelectionStrategy::Recursive => select::solve_recursive(&instance),
+            SelectionStrategy::Randomized(seed) => select::solve_randomized(&instance, seed),
+            SelectionStrategy::Incremental => {
+                // Map the currently used candidates to instance choice
+                // positions as the warm start.
+                let warm: Vec<usize> = instance
+                    .choices
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, ch)| self.cands[ch.id].state == CacheState::Used)
+                    .map(|(pos, _)| pos)
+                    .collect();
+                select::solve_incremental(&instance, &warm)
+            }
+        };
+        let mut chosen: Vec<usize> = sol.iter().map(|&s| instance.choices[s].id).collect();
+
+        // Tap-conflict fixpoint: a used cache must not cover another active
+        // group's maintenance-tap position in the same pipeline (the
+        // CacheLookup bypass would starve that CacheUpdate operator).
+        loop {
+            let mut conflict: Option<usize> = None;
+            'outer: for &a in &chosen {
+                // `a` is a potential coverer: ANY used cache (plain or
+                // globally-consistent) bypasses its covered positions on
+                // hits, starving maintenance taps placed there.
+                let ca = &self.cands[a].cand;
+                for &b in &chosen {
+                    // `b` is a potential tap owner; globally-consistent
+                    // groups own no pipeline taps (their maintenance is
+                    // computed separately), so they are exempt here.
+                    let cb = &self.cands[b].cand;
+                    if cb.group == ca.group || cb.is_global() {
+                        continue;
+                    }
+                    // Group of b taps pipelines of its segment at
+                    // `len(segment)-1`.
+                    if cb.segment.contains(&ca.pipeline) {
+                        let tap_pos = cb.segment.len() - 1;
+                        if ca.covers(tap_pos) {
+                            // Drop the lower-benefit one.
+                            let na = self.cands[a].bc_now.map(|x| x.net()).unwrap_or(0.0);
+                            let nb = self.cands[b].bc_now.map(|x| x.net()).unwrap_or(0.0);
+                            conflict = Some(if na <= nb { a } else { b });
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            match conflict {
+                Some(x) => chosen.retain(|&c| c != x),
+                None => break,
+            }
+        }
+
+        // §8(ii) damping bookkeeping: did the selection actually change?
+        let currently_used: std::collections::BTreeSet<usize> = self
+            .cands
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.state == CacheState::Used)
+            .map(|(i, _)| i)
+            .collect();
+        let newly_chosen: std::collections::BTreeSet<usize> = chosen.iter().copied().collect();
+        if newly_chosen == currently_used {
+            self.fruitless_streak = self.fruitless_streak.saturating_add(1);
+        } else {
+            self.fruitless_streak = 0;
+        }
+
+        self.apply_selection(&chosen);
+        let caches = self.used_caches();
+        let at_ns = self.core.now_ns();
+        self.log_event(AdaptivityEvent::Selected { at_ns, caches });
+    }
+
+    /// Transition states per the selection, allocate memory, create stores.
+    fn apply_selection(&mut self, chosen: &[usize]) {
+        // Memory requests per active group.
+        let mut group_net = vec![0.0f64; self.group_count];
+        let mut group_bytes = vec![0usize; self.group_count];
+        let mut group_entry_bytes = vec![64usize; self.group_count];
+        let mut group_cost_paid = vec![false; self.group_count];
+        for &ci in chosen {
+            let cr = &self.cands[ci];
+            let bc = cr.bc_now.unwrap_or_default();
+            let g = cr.cand.group;
+            group_net[g] += bc.benefit;
+            if !group_cost_paid[g] {
+                group_net[g] -= bc.cost;
+                group_cost_paid[g] = true;
+            }
+            // Entry size estimate: key + refs.
+            let d_in = self.profiler.d(cr.cand.pipeline, cr.cand.start);
+            let d_out = self.profiler.d(cr.cand.pipeline, cr.cand.end + 1);
+            let avg_tuples = if d_in > 0.0 { d_out / d_in } else { 1.0 };
+            let entry_bytes =
+                48 + cr.cand.key_classes.len() * 16 + (avg_tuples.max(1.0) as usize) * 40;
+            let miss = cr.miss_window.average_or(0.5);
+            let entries = self.expected_entries(d_in, miss);
+            group_entry_bytes[g] = group_entry_bytes[g].max(entry_bytes);
+            group_bytes[g] = group_bytes[g].max((entries as usize).saturating_mul(entry_bytes));
+        }
+        let requests: Vec<MemoryRequest> = (0..self.group_count)
+            .filter(|&g| group_cost_paid[g])
+            .map(|g| MemoryRequest {
+                id: g,
+                net_benefit: group_net[g],
+                expected_bytes: group_bytes[g].max(4096),
+            })
+            .collect();
+        let grants: Vec<Allocation> = allocate(&self.config.memory, &requests);
+        let mut granted = vec![0usize; self.group_count];
+        for a in grants {
+            granted[a.id] = a.bytes;
+        }
+        // Convert byte grants into budget-respecting bucket counts (each
+        // bucket costs its array slot plus the expected entry footprint).
+        let slot = std::mem::size_of::<Option<crate::cache::CacheEntry>>();
+        let group_buckets: Vec<usize> = (0..self.group_count)
+            .map(|g| {
+                if self.config.memory.budget_bytes.is_some() {
+                    crate::memory::buckets_within_budget(granted[g], group_entry_bytes[g], slot)
+                } else if granted[g] > 0 {
+                    buckets_for(granted[g], group_entry_bytes[g])
+                } else {
+                    0
+                }
+            })
+            .collect();
+
+        // Transition: chosen (with memory) → Used; everything else →
+        // Profiled with fresh estimators.
+        let mut used_any = vec![false; self.group_count];
+        for ci in 0..self.cands.len() {
+            let g = self.cands[ci].cand.group;
+            let is_chosen = chosen.contains(&ci) && group_buckets[g] > 0;
+            if is_chosen {
+                if self.cands[ci].state != CacheState::Used {
+                    self.cands[ci].used_since_ns = self.core.now_ns();
+                }
+                self.cands[ci].state = CacheState::Used;
+                self.cands[ci].bc_at_selection = self.cands[ci].bc_now;
+                used_any[g] = true;
+            } else {
+                self.cands[ci].state = CacheState::Profiled;
+                self.cands[ci].bc_at_selection = self.cands[ci].bc_now;
+                self.cands[ci].miss_est = self.profiler.new_miss_estimator();
+            }
+        }
+        for g in 0..self.group_count {
+            if used_any[g] {
+                let buckets = group_buckets[g];
+                match self.stores[g].as_mut() {
+                    Some(store) => {
+                        // Resize only on substantial change (avoid thrash).
+                        let cur = store.num_buckets();
+                        if buckets > cur * 2 || buckets * 4 < cur {
+                            store.resize(buckets);
+                        }
+                    }
+                    None => {
+                        self.stores[g] = Some(CacheStore::with_associativity(
+                            buckets,
+                            self.config.cache_ways,
+                        ))
+                    }
+                }
+            } else {
+                self.stores[g] = None;
+            }
+        }
+        self.rebuild_plans();
+    }
+
+    /// Install new pipeline orders: flush all caches, re-enumerate
+    /// candidates, reset order-specific statistics (§4.5 step 5).
+    pub fn set_orders(&mut self, orders: PlanOrders) {
+        orders.validate(self.core.query()).expect("invalid plan");
+        self.orders = orders;
+        self.recompile();
+        for (i, p) in self.orders.pipelines.iter().enumerate() {
+            self.profiler.reset_pipeline(RelId(i as u16), p.order.len());
+        }
+        self.online.clear();
+        self.rebuild_candidates();
+        self.apply_forced_mode();
+    }
+
+    fn log_event(&mut self, ev: AdaptivityEvent) {
+        if self.events.len() == MAX_EVENTS {
+            self.events.pop_front();
+        }
+        self.events.push_back(ev);
+    }
+
+    /// The adaptivity event log (most recent last; bounded to 512 entries).
+    pub fn events(&self) -> impl Iterator<Item = &AdaptivityEvent> {
+        self.events.iter()
+    }
+
+    /// Drain and return the event log.
+    pub fn drain_events(&mut self) -> Vec<AdaptivityEvent> {
+        self.events.drain(..).collect()
+    }
+
+    /// Per-candidate diagnostics: state, key statistics, and the current
+    /// benefit/cost estimate. Observability API for operators, experiments,
+    /// and debugging — not on the hot path.
+    pub fn diagnostics(&self) -> Vec<String> {
+        self.cands
+            .iter()
+            .enumerate()
+            .map(|(ci, cr)| {
+                let c = &cr.cand;
+                let i = c.pipeline;
+                let warm = self.profiler.pipeline_warm(i);
+                let miss = cr.miss_window.average();
+                let d_in = self.profiler.d(i, c.start);
+                let seg_proc: f64 = (c.start..=c.end).map(|j| self.profiler.op_proc(i, j)).sum();
+                let bc = self.estimate(ci);
+                format!(
+                    "{} state={:?} warm={} miss={:?} d_in={:.1} seg_proc={:.0} bc={:?}",
+                    c.name(),
+                    cr.state,
+                    warm,
+                    miss,
+                    d_in,
+                    seg_proc,
+                    bc
+                )
+            })
+            .collect()
+    }
+
+    /// Force an immediate re-optimization (tests, experiments).
+    pub fn force_reoptimize(&mut self) {
+        let now = self.core.now_ns();
+        self.stats_epoch(now);
+        self.reoptimize(now);
+    }
+
+    /// Check every active cache against its consistency invariant
+    /// (Definition 3.1 / 6.1) by recomputing the segment join from base
+    /// relations. O(everything) — test/diagnostic use only.
+    ///
+    /// Returns a list of human-readable violations (empty = consistent).
+    pub fn check_consistency_invariant(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        for cr in &self.cands {
+            if cr.state != CacheState::Used {
+                continue;
+            }
+            let c = &cr.cand;
+            let Some(store) = self.stores[c.group].as_ref() else {
+                violations.push(format!("{}: used but no store", c.name()));
+                continue;
+            };
+            for entry in store.entries() {
+                // Recompute σ_{K=u}(segment join) by brute force. Both plain
+                // and globally-consistent caches maintain exactly this set
+                // (the latter sits at Definition 6.1's upper bound).
+                let expected = self.segment_join_matching(c, entry.key());
+                let cached: std::collections::BTreeSet<Vec<(RelId, u64)>> =
+                    entry.composites().map(|v| v.identity()).collect();
+                if cached != expected {
+                    violations.push(format!(
+                        "{}: key {:?}: cached {} vs expected {} composites",
+                        c.name(),
+                        entry.key(),
+                        cached.len(),
+                        expected.len()
+                    ));
+                }
+            }
+        }
+        violations
+    }
+
+    /// Brute-force σ_{K=u}(segment join) as identity sets.
+    fn segment_join_matching(
+        &self,
+        c: &Candidate,
+        key: &[Value],
+    ) -> std::collections::BTreeSet<Vec<(RelId, u64)>> {
+        let mut results = std::collections::BTreeSet::new();
+        let mut partial: Vec<Composite> = vec![Composite::empty()];
+        for (idx, &rel) in c.segment.iter().enumerate() {
+            let mut next = Vec::new();
+            for p in &partial {
+                for t in self.core.relation(rel).scan() {
+                    let cand = if idx == 0 {
+                        Composite::unit(t.clone())
+                    } else {
+                        p.extend_with(t.clone())
+                    };
+                    // Enforce intra-segment predicates among bound rels.
+                    let ok = self.core.query().predicates().iter().all(|pr| {
+                        match (cand.get(pr.left), cand.get(pr.right)) {
+                            (Some(a), Some(b)) => a.join_eq(b),
+                            _ => true,
+                        }
+                    });
+                    if ok {
+                        next.push(cand);
+                    }
+                }
+            }
+            partial = next;
+        }
+        // Filter by key.
+        for p in partial {
+            let k: Vec<Value> = c
+                .maint_attrs
+                .iter()
+                .map(|a| p.get(*a).expect("bound").clone())
+                .collect();
+            if k == key {
+                results.insert(p.identity());
+            }
+        }
+        results
+    }
+}

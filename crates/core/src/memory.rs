@@ -1,0 +1,230 @@
+//! Adaptive memory allocation to caches (§5).
+//!
+//! *"We use a greedy allocation scheme based on the priority of a cache `C`,
+//! defined as the ratio of `benefit(C) − cost(C)` to the expected memory
+//! requirement of `C`. Intuitively, the priority of a cache is its net
+//! benefit per unit memory used."* Memory is handed out in pages; when the
+//! budget runs short, lower-priority caches receive fewer pages (smaller
+//! direct-mapped stores — always safe, §3.3) or none at all.
+
+/// Allocator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryConfig {
+    /// Allocation granule.
+    pub page_bytes: usize,
+    /// Total budget; `None` = unlimited (the §4 "assume enough memory for
+    /// all selected caches" mode).
+    pub budget_bytes: Option<usize>,
+}
+
+impl Default for MemoryConfig {
+    fn default() -> MemoryConfig {
+        MemoryConfig {
+            page_bytes: 4096,
+            budget_bytes: None,
+        }
+    }
+}
+
+/// One cache's memory request.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryRequest {
+    /// Caller-meaningful id (the engine uses shared-group ids — one store
+    /// per group).
+    pub id: usize,
+    /// `benefit(C) − cost(C)` (for shared groups: summed member benefits −
+    /// the once-paid cost).
+    pub net_benefit: f64,
+    /// Expected bytes needed for the full expected entry count.
+    pub expected_bytes: usize,
+}
+
+impl MemoryRequest {
+    /// §5 priority: net benefit per byte.
+    pub fn priority(&self) -> f64 {
+        self.net_benefit / self.expected_bytes.max(1) as f64
+    }
+}
+
+/// Result of an allocation round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Allocation {
+    /// Request id.
+    pub id: usize,
+    /// Pages granted (0 = cache cannot be used).
+    pub pages: usize,
+    /// Bytes granted.
+    pub bytes: usize,
+}
+
+/// Minimum fraction of a request that must be grantable for the cache to be
+/// used at all. Direct-mapped stores degrade gracefully with fewer buckets,
+/// but below ~20% of the expected working set the collision-driven miss rate
+/// erases the benefit the selection was based on.
+pub const MIN_GRANT_FRACTION: f64 = 0.2;
+
+/// Greedily allocate pages by priority.
+///
+/// Requests with non-positive net benefit get nothing. Under an exhausted
+/// budget a request may receive a *partial* grant, but never less than
+/// [`MIN_GRANT_FRACTION`] of what it asked for.
+pub fn allocate(config: &MemoryConfig, requests: &[MemoryRequest]) -> Vec<Allocation> {
+    let mut order: Vec<usize> = (0..requests.len()).collect();
+    order.sort_by(|&a, &b| {
+        requests[b]
+            .priority()
+            .partial_cmp(&requests[a].priority())
+            .unwrap()
+            .then(requests[a].id.cmp(&requests[b].id))
+    });
+    let mut remaining_pages = config
+        .budget_bytes
+        .map(|b| b / config.page_bytes)
+        .unwrap_or(usize::MAX);
+    let mut out: Vec<Allocation> = requests
+        .iter()
+        .map(|r| Allocation {
+            id: r.id,
+            pages: 0,
+            bytes: 0,
+        })
+        .collect();
+    for idx in order {
+        let r = &requests[idx];
+        if r.net_benefit <= 0.0 || remaining_pages == 0 {
+            continue;
+        }
+        let want = r.expected_bytes.div_ceil(config.page_bytes).max(1);
+        let grant = want.min(remaining_pages);
+        if (grant as f64) < want as f64 * MIN_GRANT_FRACTION {
+            continue; // too small to behave like the cache we selected
+        }
+        remaining_pages -= grant;
+        out[idx] = Allocation {
+            id: r.id,
+            pages: grant,
+            bytes: grant * config.page_bytes,
+        };
+    }
+    out
+}
+
+/// Convert a byte grant into a bucket count for a [`crate::cache::CacheStore`]:
+/// bytes divided by an estimated per-entry footprint, at least one bucket.
+pub fn buckets_for(bytes: usize, est_entry_bytes: usize) -> usize {
+    (bytes / est_entry_bytes.max(1)).max(1)
+}
+
+/// Budget-respecting bucket count: each bucket costs its array slot
+/// (`slot_bytes`) *plus*, when occupied, the entry footprint — so
+/// `buckets × (slot + entry) ≤ bytes`. [`crate::cache::CacheStore`] rounds
+/// buckets up to a power of two, so round *down* here to the previous power
+/// of two to stay within budget. Returns 0 when even one bucket can't fit.
+pub fn buckets_within_budget(bytes: usize, est_entry_bytes: usize, slot_bytes: usize) -> usize {
+    let per_bucket = est_entry_bytes.saturating_add(slot_bytes).max(1);
+    let raw = bytes / per_bucket;
+    if raw == 0 {
+        0
+    } else {
+        // Previous power of two (so CacheStore's round-up is a no-op).
+        1usize << (usize::BITS - 1 - raw.leading_zeros())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: usize, net: f64, bytes: usize) -> MemoryRequest {
+        MemoryRequest {
+            id,
+            net_benefit: net,
+            expected_bytes: bytes,
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_grants_everything() {
+        let cfg = MemoryConfig::default();
+        let out = allocate(&cfg, &[req(0, 10.0, 10_000), req(1, 1.0, 4096)]);
+        assert_eq!(out[0].pages, 3); // ceil(10000/4096)
+        assert_eq!(out[1].pages, 1);
+    }
+
+    #[test]
+    fn priority_orders_grants() {
+        let cfg = MemoryConfig {
+            page_bytes: 4096,
+            budget_bytes: Some(8192), // 2 pages
+        };
+        // id 0: priority 10/8192; id 1: priority 50/4096 (higher).
+        let out = allocate(&cfg, &[req(0, 10.0, 8192), req(1, 50.0, 4096)]);
+        assert_eq!(out[1].pages, 1, "high priority served first");
+        assert_eq!(out[0].pages, 1, "partial grant from the remainder");
+        assert_eq!(out[0].bytes, 4096);
+    }
+
+    #[test]
+    fn nonpositive_net_gets_nothing() {
+        let cfg = MemoryConfig::default();
+        let out = allocate(&cfg, &[req(0, 0.0, 4096), req(1, -5.0, 4096)]);
+        assert_eq!(out[0].pages, 0);
+        assert_eq!(out[1].pages, 0);
+    }
+
+    #[test]
+    fn zero_budget() {
+        let cfg = MemoryConfig {
+            page_bytes: 4096,
+            budget_bytes: Some(0),
+        };
+        let out = allocate(&cfg, &[req(0, 100.0, 4096)]);
+        assert_eq!(out[0].pages, 0);
+    }
+
+    #[test]
+    fn budget_never_exceeded() {
+        let cfg = MemoryConfig {
+            page_bytes: 1024,
+            budget_bytes: Some(10 * 1024),
+        };
+        let reqs: Vec<MemoryRequest> = (0..8).map(|i| req(i, 10.0 + i as f64, 3000)).collect();
+        let out = allocate(&cfg, &reqs);
+        let total: usize = out.iter().map(|a| a.bytes).sum();
+        assert!(total <= 10 * 1024);
+        // Highest priority (id 7) fully served: ceil(3000/1024) = 3 pages.
+        assert_eq!(out[7].pages, 3);
+    }
+
+    #[test]
+    fn buckets_from_bytes() {
+        assert_eq!(buckets_for(8192, 64), 128);
+        assert_eq!(buckets_for(10, 64), 1, "never zero buckets");
+        assert_eq!(buckets_for(0, 0), 1);
+    }
+
+    #[test]
+    fn priority_math() {
+        assert!(req(0, 10.0, 100).priority() > req(1, 10.0, 1000).priority());
+        assert_eq!(req(0, 5.0, 0).priority(), 5.0, "zero-size guard");
+    }
+}
+
+#[cfg(test)]
+mod budget_tests {
+    use super::*;
+
+    #[test]
+    fn buckets_within_budget_respects_bytes() {
+        // 8192 bytes, 200 B/entry + 120 B/slot → 25 raw → 16 buckets.
+        assert_eq!(buckets_within_budget(8192, 200, 120), 16);
+        // Tiny budget: zero buckets (cache unusable).
+        assert_eq!(buckets_within_budget(100, 200, 120), 0);
+        // Power-of-two rounding never exceeds the raw count.
+        for bytes in [1000usize, 5000, 50_000, 123_456] {
+            let b = buckets_within_budget(bytes, 64, 96);
+            assert!(b == 0 || b.is_power_of_two());
+            assert!(b * (64 + 96) <= bytes, "{b} buckets exceed {bytes}");
+        }
+    }
+}

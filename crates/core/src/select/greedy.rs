@@ -1,0 +1,252 @@
+//! The Appendix B greedy approximation (Theorem 4.3): O(log n)-approximate
+//! minimization of `Σ proc + cost` with shared groups.
+//!
+//! Set-cover flavour: the universe is the set of join operators; every
+//! operator must end up either covered by a chosen cache or paying its raw
+//! cost (operators are "caches of zero length" in their own zero-cost
+//! groups). Each iteration computes, per group `G_r`, the cheapest
+//! *cost-rate*
+//!
+//! ```text
+//! D_r = min_{S ⊆ G_r} (L_r + Σ_{c∈S} B_c) / (Σ_{c∈S} n_c)
+//! ```
+//!
+//! where `B_c = proc(c)`, `n_c` = uncovered operators `c` covers, and — per
+//! the Appendix B claim — the minimizing `S` is a prefix of the members
+//! sorted by `B_c / n_c`. The group with the smallest `D_r` is taken, its
+//! covered operators are deleted, and the process repeats. Overlaps among
+//! chosen caches are resolved at the end by keeping the widest.
+
+use super::{SelectionInstance, Solution};
+
+/// Greedy O(log n) approximation.
+pub fn solve_greedy(instance: &SelectionInstance) -> Solution {
+    let num_groups = instance.group_cost.len();
+    let mut covered: Vec<Vec<bool>> = instance
+        .op_proc
+        .iter()
+        .map(|p| vec![false; p.len()])
+        .collect();
+    let total_ops: usize = instance.op_proc.iter().map(Vec::len).sum();
+    let mut covered_count = 0usize;
+    let mut chosen: Vec<usize> = Vec::new();
+    // Track which ops pseudo-covered (by their own zero-length cache).
+    // Pseudo choice simply marks the op covered at its raw cost.
+
+    while covered_count < total_ops {
+        // Best real group by cost-rate.
+        let mut best: Option<(f64, usize, Vec<usize>)> = None; // (D_r, group, members)
+        for g in 0..num_groups {
+            let mut members: Vec<(usize, f64, usize)> = instance
+                .choices
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.group == g)
+                .filter_map(|(i, c)| {
+                    let n = (c.start..=c.end)
+                        .filter(|&p| !covered[c.pipeline][p])
+                        .count();
+                    if n == 0 {
+                        None
+                    } else {
+                        Some((i, c.proc, n))
+                    }
+                })
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            members.sort_by(|a, b| (a.1 / a.2 as f64).partial_cmp(&(b.1 / b.2 as f64)).unwrap());
+            let mut acc_b = instance.group_cost[g];
+            let mut acc_n = 0usize;
+            let mut best_prefix_rate = f64::INFINITY;
+            let mut best_prefix_len = 0usize;
+            for (len, &(_, b, n)) in members.iter().enumerate() {
+                acc_b += b;
+                acc_n += n;
+                let rate = acc_b / acc_n as f64;
+                if rate < best_prefix_rate {
+                    best_prefix_rate = rate;
+                    best_prefix_len = len + 1;
+                }
+            }
+            let prefix: Vec<usize> = members[..best_prefix_len].iter().map(|m| m.0).collect();
+            if best
+                .as_ref()
+                .map(|(d, _, _)| best_prefix_rate < *d)
+                .unwrap_or(true)
+            {
+                best = Some((best_prefix_rate, g, prefix));
+            }
+        }
+
+        // Cheapest pseudo (single uncovered operator at raw cost, rate =
+        // op_proc / 1).
+        let mut best_pseudo: Option<(f64, usize, usize)> = None;
+        for (i, pipeline) in instance.op_proc.iter().enumerate() {
+            for (j, &p) in pipeline.iter().enumerate() {
+                if !covered[i][j] && best_pseudo.map(|(d, _, _)| p < d).unwrap_or(true) {
+                    best_pseudo = Some((p, i, j));
+                }
+            }
+        }
+
+        let take_real = match (&best, best_pseudo) {
+            (Some((d, _, _)), Some((dp, _, _))) => *d <= dp,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+
+        if take_real {
+            let (_, _, members) = best.expect("checked");
+            for i in members {
+                let c = &instance.choices[i];
+                for slot in &mut covered[c.pipeline][c.start..=c.end] {
+                    if !*slot {
+                        *slot = true;
+                        covered_count += 1;
+                    }
+                }
+                chosen.push(i);
+            }
+        } else {
+            let (_, i, j) = best_pseudo.expect("checked");
+            covered[i][j] = true;
+            covered_count += 1;
+        }
+    }
+
+    // Resolve overlaps among chosen real caches; drop anything that ends up
+    // with negative marginal value versus just paying the ops (cheap
+    // post-filter that only improves the objective).
+    let mut sol = instance.resolve_overlaps(chosen);
+    loop {
+        let base = instance.net_objective(&sol);
+        let mut improved = false;
+        for drop_idx in 0..sol.len() {
+            let mut trial = sol.clone();
+            trial.remove(drop_idx);
+            if instance.net_objective(&trial) > base {
+                sol = trial;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    sol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::exhaustive::solve_exhaustive;
+    use super::super::testutil::instance;
+    use super::*;
+
+    #[test]
+    fn trivial_cases() {
+        let inst = instance(&[&[1.0, 2.0]], &[], &[]);
+        assert!(solve_greedy(&inst).is_empty());
+    }
+
+    #[test]
+    fn prefers_cheap_shared_group() {
+        // Shared group covering three pipelines at tiny proc beats pseudos.
+        let inst = instance(
+            &[&[10.0], &[10.0], &[10.0]],
+            &[
+                (0, 0, 0, 9.0, 1.0, 0),
+                (1, 0, 0, 9.0, 1.0, 0),
+                (2, 0, 0, 9.0, 1.0, 0),
+            ],
+            &[2.0],
+        );
+        let sol = solve_greedy(&inst);
+        assert_eq!(sol, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn skips_expensive_caches() {
+        // proc 50 vs op cost 10: pseudo wins; empty solution.
+        let inst = instance(&[&[10.0]], &[(0, 0, 0, -40.0, 50.0, 0)], &[0.0]);
+        assert!(solve_greedy(&inst).is_empty());
+    }
+
+    #[test]
+    fn prefix_claim_exercised() {
+        // Group with members of increasing B/n; optimal prefix is the first
+        // two (adding the third worsens the rate).
+        let inst = instance(
+            &[&[10.0], &[10.0], &[10.0]],
+            &[
+                (0, 0, 0, 9.5, 0.5, 0),
+                (1, 0, 0, 9.0, 1.0, 0),
+                (2, 0, 0, 0.0, 10.0, 0), // terrible member
+            ],
+            &[1.0],
+        );
+        let sol = solve_greedy(&inst);
+        assert!(sol.contains(&0) && sol.contains(&1));
+        assert!(!sol.contains(&2), "bad member excluded from prefix");
+    }
+
+    #[test]
+    fn feasible_and_near_optimal_on_random_instances() {
+        let mut seed = 0xC0FFEEu64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for trial in 0..40 {
+            // 3 pipelines × 3 ops; caches with random nested spans; ~4 groups.
+            let ops: Vec<Vec<f64>> = (0..3)
+                .map(|_| (0..3).map(|_| (rng() % 100) as f64 + 10.0).collect())
+                .collect();
+            let mut caches = Vec::new();
+            #[allow(clippy::needless_range_loop)] // per-pipeline index math
+            for pi in 0..3usize {
+                for (s, e) in [(0usize, 0usize), (1, 2), (0, 2)] {
+                    if rng() % 3 == 0 {
+                        continue;
+                    }
+                    let covered: f64 = ops[pi][s..=e].iter().sum();
+                    let proc = (rng() % 100) as f64 / 100.0 * covered;
+                    let benefit = covered - proc;
+                    let group = (rng() % 4) as usize;
+                    caches.push((pi, s, e, benefit, proc, group));
+                }
+            }
+            let group_cost: Vec<f64> = (0..4).map(|_| (rng() % 40) as f64).collect();
+            let refs: Vec<&[f64]> = ops.iter().map(|v| v.as_slice()).collect();
+            let inst = instance(&refs, &caches, &group_cost);
+            let greedy = solve_greedy(&inst);
+            assert!(inst.is_feasible(&greedy), "trial {trial} infeasible");
+            let opt = solve_exhaustive(&inst);
+            let bound = (inst.op_proc.iter().map(Vec::len).sum::<usize>() as f64).ln() + 2.0;
+            let g_cost = inst.total_cost(&greedy);
+            let o_cost = inst.total_cost(&opt);
+            assert!(
+                g_cost <= bound * o_cost + 1e-6,
+                "trial {trial}: greedy {g_cost} > {bound} × optimal {o_cost}"
+            );
+        }
+    }
+
+    #[test]
+    fn group_sharing_synergy_matches_exhaustive_when_clearcut() {
+        let inst = instance(
+            &[&[20.0], &[20.0]],
+            &[(0, 0, 0, 18.0, 2.0, 0), (1, 0, 0, 18.0, 2.0, 0)],
+            &[10.0],
+        );
+        let g = solve_greedy(&inst);
+        let e = solve_exhaustive(&inst);
+        assert_eq!(g, e);
+        assert_eq!(g, vec![0, 1]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Incremental cache selection (paper §8, future work (i)):
+//! *"Develop an incremental algorithm that adds or drops caches based solely
+//! on the statistics that have changed"* — instead of re-deriving the
+//! selection from scratch at every re-optimization, warm-start from the
+//! previous solution and apply local improvement moves until fixpoint.
+//!
+//! Moves considered each round, best-improvement first:
+//! * **drop** a chosen cache whose removal raises the net objective,
+//! * **add** a candidate that doesn't overlap the current picks,
+//! * **swap** a candidate in for everything it overlaps.
+//!
+//! The result is a local optimum containing the previous solution's
+//! still-good members; on instances where single moves suffice it matches
+//! the exact optimum, and it never returns anything worse than the previous
+//! solution (or than choosing nothing). Cost per round is `O(m²)` versus
+//! the exhaustive solver's `O(2^m)`.
+
+use super::{SelectionInstance, Solution};
+
+/// Maximum improvement rounds (each strictly improves the objective, so this
+/// is a safety bound, not a tuning knob).
+const MAX_ROUNDS: usize = 200;
+
+/// Warm-start local search from `previous` (invalid ids are ignored;
+/// infeasible subsets are repaired by dropping lower-benefit members).
+pub fn solve_incremental(instance: &SelectionInstance, previous: &Solution) -> Solution {
+    // Sanitize the warm start: known ids, overlaps resolved.
+    let valid: Vec<usize> = previous
+        .iter()
+        .copied()
+        .filter(|&i| i < instance.choices.len())
+        .collect();
+    let mut current = instance.resolve_overlaps(valid);
+
+    for _ in 0..MAX_ROUNDS {
+        let base = instance.net_objective(&current);
+        let mut best: Option<(f64, Solution)> = None;
+        let consider = |cand: Solution, best: &mut Option<(f64, Solution)>| {
+            let net = instance.net_objective(&cand);
+            if net > base + 1e-12 && best.as_ref().map(|(b, _)| net > *b).unwrap_or(true) {
+                *best = Some((net, cand));
+            }
+        };
+
+        // Drops.
+        for pos in 0..current.len() {
+            let mut trial = current.clone();
+            trial.remove(pos);
+            consider(trial, &mut best);
+        }
+        // Adds and swaps.
+        for i in 0..instance.choices.len() {
+            if current.contains(&i) {
+                continue;
+            }
+            let overlapping: Vec<usize> = current
+                .iter()
+                .copied()
+                .filter(|&j| instance.choices[i].overlaps(&instance.choices[j]))
+                .collect();
+            let mut trial: Solution = current
+                .iter()
+                .copied()
+                .filter(|j| !overlapping.contains(j))
+                .collect();
+            trial.push(i);
+            trial.sort_unstable();
+            consider(trial, &mut best);
+        }
+
+        match best {
+            Some((_, next)) => current = next,
+            None => break,
+        }
+    }
+    current.sort_unstable();
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::exhaustive::solve_exhaustive;
+    use super::super::testutil::instance;
+    use super::*;
+
+    #[test]
+    fn empty_start_finds_positive_caches() {
+        let inst = instance(
+            &[&[50.0], &[50.0]],
+            &[(0, 0, 0, 40.0, 10.0, 0), (1, 0, 0, 40.0, 10.0, 1)],
+            &[5.0, 5.0],
+        );
+        let sol = solve_incremental(&inst, &vec![]);
+        assert_eq!(sol, vec![0, 1]);
+    }
+
+    #[test]
+    fn stale_members_dropped() {
+        // Previous solution contains a now-harmful cache (negative net).
+        let inst = instance(&[&[50.0]], &[(0, 0, 0, 2.0, 10.0, 0)], &[8.0]);
+        let sol = solve_incremental(&inst, &vec![0]);
+        assert!(sol.is_empty(), "harmful warm-start member must be dropped");
+    }
+
+    #[test]
+    fn swap_replaces_overlapping_worse_choice() {
+        let inst = instance(
+            &[&[30.0, 30.0]],
+            &[
+                (0, 0, 0, 10.0, 1.0, 0), // small cache, net 9
+                (0, 0, 1, 50.0, 2.0, 1), // big cache, net 45, overlaps it
+            ],
+            &[1.0, 5.0],
+        );
+        let sol = solve_incremental(&inst, &vec![0]);
+        assert_eq!(sol, vec![1], "swap to the dominating cache");
+    }
+
+    #[test]
+    fn invalid_previous_ids_ignored() {
+        let inst = instance(&[&[10.0]], &[(0, 0, 0, 8.0, 1.0, 0)], &[2.0]);
+        let sol = solve_incremental(&inst, &vec![99, 0, 1234]);
+        assert_eq!(sol, vec![0]);
+    }
+
+    #[test]
+    fn never_worse_than_warm_start_or_empty() {
+        let mut seedv = 0x17C5u64;
+        let mut rng = move || {
+            seedv ^= seedv << 13;
+            seedv ^= seedv >> 7;
+            seedv ^= seedv << 17;
+            seedv
+        };
+        for _ in 0..30 {
+            let ops: Vec<Vec<f64>> = (0..2)
+                .map(|_| (0..3).map(|_| (rng() % 80) as f64 + 20.0).collect())
+                .collect();
+            let mut caches = Vec::new();
+            #[allow(clippy::needless_range_loop)] // per-pipeline index math
+            for pi in 0..2usize {
+                for (s, e) in [(0usize, 1usize), (2, 2), (0, 2)] {
+                    let covered: f64 = ops[pi][s..=e].iter().sum();
+                    let proc = (rng() % 100) as f64 / 100.0 * covered;
+                    caches.push((pi, s, e, covered - proc, proc, (rng() % 3) as usize));
+                }
+            }
+            let group_cost: Vec<f64> = (0..3).map(|_| (rng() % 40) as f64).collect();
+            let refs: Vec<&[f64]> = ops.iter().map(|v| v.as_slice()).collect();
+            let inst = instance(&refs, &caches, &group_cost);
+            let warm: Vec<usize> = (0..caches.len()).filter(|_| rng() % 2 == 0).collect();
+            let warm = inst.resolve_overlaps(warm);
+            let sol = solve_incremental(&inst, &warm);
+            assert!(inst.is_feasible(&sol));
+            assert!(inst.net_objective(&sol) >= inst.net_objective(&warm) - 1e-9);
+            assert!(inst.net_objective(&sol) >= -1e-9);
+            // And it should usually land close to the exact optimum on these
+            // small instances; verify it's within a loose factor to catch
+            // gross regressions without demanding global optimality.
+            let opt = solve_exhaustive(&inst);
+            let opt_net = inst.net_objective(&opt);
+            if opt_net > 1.0 {
+                assert!(
+                    inst.net_objective(&sol) >= 0.5 * opt_net,
+                    "local optimum {} too far from exact {}",
+                    inst.net_objective(&sol),
+                    opt_net
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! The Appendix B randomized-rounding approximation (Theorem B.1): solve the
+//! LP relaxation of the cache-selection integer program with `acq-lp`, then
+//! round group-by-group with independent uniform thresholds, repeating
+//! `O(log m)` times so every operator is covered with high probability.
+//!
+//! Integer program (Appendix B):
+//!
+//! ```text
+//! minimize    Σ_c B_c·x_c + Σ_r L_r·z_r
+//! subject to  Σ_{c : p ∈ c} x_c = 1          for every operator p
+//!             x_c ≤ z_{group(c)}             for every cache c
+//!             x, z ∈ {0,1}   (relaxed to [0,1])
+//! ```
+//!
+//! where operators themselves participate as zero-length caches with
+//! `B = d·c` and `L = 0`.
+
+use super::{SelectionInstance, Solution};
+use acq_lp::{LinearProgram, LpResult};
+
+/// Deterministic xorshift64* generator so rounding is reproducible.
+#[derive(Debug, Clone)]
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> XorShift {
+        XorShift(seed.max(1))
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Randomized LP-rounding approximation. `seed` makes it deterministic.
+///
+/// Falls back to an empty solution if the LP solver fails (cannot happen for
+/// well-formed instances — the all-pseudo solution is always feasible — but
+/// kept defensive).
+pub fn solve_randomized(instance: &SelectionInstance, seed: u64) -> Solution {
+    let m = instance.choices.len();
+    let num_groups = instance.group_cost.len();
+    // Operator universe, flattened.
+    let ops: Vec<(usize, usize, f64)> = instance
+        .op_proc
+        .iter()
+        .enumerate()
+        .flat_map(|(i, pipe)| pipe.iter().enumerate().map(move |(j, &p)| (i, j, p)))
+        .collect();
+    let num_ops = ops.len();
+    if num_ops == 0 {
+        return Vec::new();
+    }
+
+    // Variable layout: [x_real (m)] [x_pseudo (num_ops)] [z (num_groups)].
+    let nv = m + num_ops + num_groups;
+    let mut objective = vec![0.0; nv];
+    for (c, obj) in instance.choices.iter().zip(objective.iter_mut()) {
+        *obj = c.proc;
+    }
+    for (k, &(_, _, p)) in ops.iter().enumerate() {
+        objective[m + k] = p;
+    }
+    for g in 0..num_groups {
+        objective[m + num_ops + g] = instance.group_cost[g];
+    }
+
+    let mut lp = LinearProgram::minimize(objective);
+    // Coverage equalities.
+    for (k, &(pi, pj, _)) in ops.iter().enumerate() {
+        let mut row = vec![0.0; nv];
+        for (ci, c) in instance.choices.iter().enumerate() {
+            if c.pipeline == pi && c.start <= pj && pj <= c.end {
+                row[ci] = 1.0;
+            }
+        }
+        row[m + k] = 1.0;
+        lp.add_eq(row, 1.0);
+    }
+    // Group linking x_c ≤ z_g and upper bounds.
+    for (ci, c) in instance.choices.iter().enumerate() {
+        let mut row = vec![0.0; nv];
+        row[ci] = 1.0;
+        row[m + num_ops + c.group] = -1.0;
+        lp.add_le(row, 0.0);
+    }
+    for g in 0..num_groups {
+        let mut row = vec![0.0; nv];
+        row[m + num_ops + g] = 1.0;
+        lp.add_le(row, 1.0);
+    }
+
+    let LpResult::Optimal { x, .. } = lp.solve() else {
+        return Vec::new();
+    };
+
+    // Randomized rounding: 3·log2(num_ops)+1 rounds; per round one threshold
+    // per group (real groups; pseudos don't matter — uncovered ops just pay).
+    let rounds = 3 * (usize::BITS - num_ops.leading_zeros()) as usize + 1;
+    let mut rng = XorShift::new(seed);
+    let mut picked: Vec<usize> = Vec::new();
+    for _ in 0..rounds {
+        let thresholds: Vec<f64> = (0..num_groups).map(|_| rng.next_f64()).collect();
+        for (ci, c) in instance.choices.iter().enumerate() {
+            if x[ci] >= thresholds[c.group] && x[ci] > 1e-9 {
+                picked.push(ci);
+            }
+        }
+    }
+    let sol = instance.resolve_overlaps(picked);
+    // Post-filter: drop members that hurt the objective (LP rounding can pick
+    // negative-net caches; removal only improves the integer objective).
+    let mut sol = sol;
+    loop {
+        let base = instance.net_objective(&sol);
+        let Some(pos) = (0..sol.len()).find(|&i| {
+            let mut trial = sol.clone();
+            trial.remove(i);
+            instance.net_objective(&trial) > base
+        }) else {
+            break;
+        };
+        sol.remove(pos);
+    }
+    sol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::exhaustive::solve_exhaustive;
+    use super::super::testutil::instance;
+    use super::*;
+
+    #[test]
+    fn empty_instance() {
+        let inst = instance(&[], &[], &[]);
+        assert!(solve_randomized(&inst, 42).is_empty());
+    }
+
+    #[test]
+    fn integral_lp_recovers_optimum() {
+        // Clear-cut instance: LP optimum is integral, rounding must find it.
+        let inst = instance(
+            &[&[100.0], &[100.0]],
+            &[(0, 0, 0, 95.0, 5.0, 0), (1, 0, 0, 95.0, 5.0, 0)],
+            &[10.0],
+        );
+        let sol = solve_randomized(&inst, 7);
+        assert_eq!(sol, vec![0, 1]);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let inst = instance(
+            &[&[50.0, 60.0]],
+            &[(0, 0, 0, 40.0, 10.0, 0), (0, 0, 1, 90.0, 20.0, 1)],
+            &[5.0, 8.0],
+        );
+        let a = solve_randomized(&inst, 123);
+        let b = solve_randomized(&inst, 123);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn feasible_and_bounded_on_random_instances() {
+        let mut seed = 0xABCDu64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for trial in 0..25 {
+            let ops: Vec<Vec<f64>> = (0..2)
+                .map(|_| (0..3).map(|_| (rng() % 80) as f64 + 20.0).collect())
+                .collect();
+            let mut caches = Vec::new();
+            #[allow(clippy::needless_range_loop)] // per-pipeline index math
+            for pi in 0..2usize {
+                for (s, e) in [(0usize, 1usize), (1, 2), (0, 2), (2, 2)] {
+                    if rng() % 4 == 0 {
+                        continue;
+                    }
+                    let covered: f64 = ops[pi][s..=e].iter().sum();
+                    let proc = (rng() % 90) as f64 / 100.0 * covered;
+                    caches.push((pi, s, e, covered - proc, proc, (rng() % 3) as usize));
+                }
+            }
+            let group_cost: Vec<f64> = (0..3).map(|_| (rng() % 30) as f64).collect();
+            let refs: Vec<&[f64]> = ops.iter().map(|v| v.as_slice()).collect();
+            let inst = instance(&refs, &caches, &group_cost);
+            let sol = solve_randomized(&inst, 1000 + trial);
+            assert!(inst.is_feasible(&sol), "trial {trial} infeasible: {sol:?}");
+            let opt = solve_exhaustive(&inst);
+            let bound = (inst.op_proc.iter().map(Vec::len).sum::<usize>() as f64).ln() + 2.5;
+            assert!(
+                inst.total_cost(&sol) <= bound * inst.total_cost(&opt) + 1e-6,
+                "trial {trial}: randomized {} > {bound} × optimal {}",
+                inst.total_cost(&sol),
+                inst.total_cost(&opt)
+            );
+        }
+    }
+
+    #[test]
+    fn never_worse_than_choosing_everything_bad() {
+        // All caches have negative net; rounding may pick them but the
+        // post-filter must drop them.
+        let inst = instance(
+            &[&[10.0, 10.0]],
+            &[(0, 0, 1, 2.0, 18.0, 0), (0, 0, 0, 1.0, 9.0, 1)],
+            &[6.0, 6.0],
+        );
+        let sol = solve_randomized(&inst, 5);
+        assert!(
+            inst.net_objective(&sol) >= 0.0,
+            "post-filter guarantees nonnegative net, got {sol:?}"
+        );
+    }
+}

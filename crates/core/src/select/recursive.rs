@@ -1,0 +1,245 @@
+//! The optimal O(m) recursive algorithm for unshared candidates
+//! (Theorem 4.1 / the unshared case of Theorem 4.2).
+//!
+//! Within one pipeline, overlapping candidates are nested (the prefix
+//! invariant forces containment — §4.4), so they form a forest under
+//! containment. Bottom-up, the optimal value of the subtree rooted at cache
+//! `C` is `max(net(C), Σ optimal(children of C))`; the answer is the sum over
+//! roots, clamping negative subtrees to "choose nothing".
+//!
+//! When candidates *are* shared this remains a valid (feasible) heuristic —
+//! it simply charges every chosen member its full group cost, underestimating
+//! sharing synergy — but optimality is only guaranteed without sharing.
+
+use super::{SelectionInstance, Solution};
+
+/// Solve by per-pipeline containment-forest dynamic programming.
+///
+/// # Panics
+/// Panics if two candidates in one pipeline overlap without nesting (the
+/// prefix invariant guarantees this never happens for plain candidates;
+/// globally-consistent candidates may violate it, so route instances with
+/// global caches to exhaustive/greedy search instead).
+pub fn solve_recursive(instance: &SelectionInstance) -> Solution {
+    let m = instance.choices.len();
+    // Net value of choosing a candidate alone: benefit − its group's cost.
+    let net = |i: usize| -> f64 {
+        let c = &instance.choices[i];
+        c.benefit - instance.group_cost[c.group]
+    };
+
+    // parent[i] = smallest strict superset in the same pipeline.
+    let mut parent = vec![usize::MAX; m];
+    #[allow(clippy::needless_range_loop)] // index math over two candidates
+    for i in 0..m {
+        let ci = &instance.choices[i];
+        let mut best: Option<usize> = None;
+        for j in 0..m {
+            if i == j {
+                continue;
+            }
+            let cj = &instance.choices[j];
+            if cj.pipeline != ci.pipeline {
+                continue;
+            }
+            let contains = cj.start <= ci.start && ci.end <= cj.end && cj.ops() > ci.ops();
+            if contains {
+                match best {
+                    None => best = Some(j),
+                    Some(b) => {
+                        if instance.choices[b].ops() > cj.ops() {
+                            best = Some(j);
+                        }
+                    }
+                }
+            } else {
+                let nested = (cj.start <= ci.start && ci.end <= cj.end)
+                    || (ci.start <= cj.start && cj.end <= ci.end);
+                assert!(
+                    !ci.overlaps(cj) || nested,
+                    "partial overlap between candidates {i} and {j}: prefix invariant violated"
+                );
+            }
+        }
+        if let Some(b) = best {
+            parent[i] = b;
+        }
+    }
+
+    // Children lists; process by increasing span so children are finished
+    // before parents.
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); m];
+    for i in 0..m {
+        if parent[i] != usize::MAX {
+            children[parent[i]].push(i);
+        }
+    }
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by_key(|&i| instance.choices[i].ops());
+
+    // best[i]: optimal net value achievable inside i's span; pick[i]: whether
+    // the optimum takes i itself.
+    let mut best = vec![0.0f64; m];
+    let mut take = vec![false; m];
+    for &i in &order {
+        let child_sum: f64 = children[i].iter().map(|&c| best[c]).sum();
+        let own = net(i);
+        if own > child_sum && own > 0.0 {
+            best[i] = own;
+            take[i] = true;
+        } else {
+            best[i] = child_sum.max(0.0);
+            take[i] = false;
+        }
+    }
+
+    // Collect: walk down from roots; where take[i], choose i and stop.
+    let mut sol = Vec::new();
+    let mut stack: Vec<usize> = (0..m).filter(|&i| parent[i] == usize::MAX).collect();
+    while let Some(i) = stack.pop() {
+        if best[i] <= 0.0 {
+            continue;
+        }
+        if take[i] {
+            sol.push(i);
+        } else {
+            stack.extend(children[i].iter().copied());
+        }
+    }
+    sol.sort_unstable();
+    sol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::instance;
+    use super::*;
+
+    #[test]
+    fn empty_instance() {
+        let inst = instance(&[&[1.0, 2.0]], &[], &[]);
+        assert!(solve_recursive(&inst).is_empty());
+    }
+
+    #[test]
+    fn single_positive_cache_chosen() {
+        let inst = instance(&[&[10.0, 10.0]], &[(0, 0, 1, 15.0, 5.0, 0)], &[4.0]);
+        assert_eq!(solve_recursive(&inst), vec![0]);
+    }
+
+    #[test]
+    fn negative_net_cache_skipped() {
+        let inst = instance(&[&[10.0, 10.0]], &[(0, 0, 1, 3.0, 5.0, 0)], &[4.0]);
+        assert!(solve_recursive(&inst).is_empty(), "3 − 4 < 0");
+    }
+
+    #[test]
+    fn parent_vs_children_tradeoff() {
+        // Big cache net 10; two nested children nets 7 + 6 = 13 > 10.
+        let inst = instance(
+            &[&[5.0, 5.0, 5.0, 5.0]],
+            &[
+                (0, 0, 3, 12.0, 1.0, 0), // net 10
+                (0, 0, 1, 8.0, 1.0, 1),  // net 7
+                (0, 2, 3, 7.0, 1.0, 2),  // net 6
+            ],
+            &[2.0, 1.0, 1.0],
+        );
+        let sol = solve_recursive(&inst);
+        assert_eq!(sol, vec![1, 2]);
+        // Flip: make the parent dominant.
+        let inst2 = instance(
+            &[&[5.0, 5.0, 5.0, 5.0]],
+            &[
+                (0, 0, 3, 20.0, 1.0, 0), // net 18
+                (0, 0, 1, 8.0, 1.0, 1),
+                (0, 2, 3, 7.0, 1.0, 2),
+            ],
+            &[2.0, 1.0, 1.0],
+        );
+        assert_eq!(solve_recursive(&inst2), vec![0]);
+    }
+
+    #[test]
+    fn three_level_nesting() {
+        // Grandparent > parent > child; child alone best.
+        let inst = instance(
+            &[&[1.0; 6]],
+            &[
+                (0, 0, 5, 5.0, 0.5, 0), // net 4
+                (0, 0, 3, 5.5, 0.5, 1), // net 4.5
+                (0, 1, 2, 6.0, 0.5, 2), // net 5
+            ],
+            &[1.0, 1.0, 1.0],
+        );
+        assert_eq!(solve_recursive(&inst), vec![2]);
+    }
+
+    #[test]
+    fn independent_pipelines_solved_independently() {
+        let inst = instance(
+            &[&[10.0, 10.0], &[10.0, 10.0]],
+            &[(0, 0, 1, 9.0, 1.0, 0), (1, 0, 1, 2.0, 1.0, 1)],
+            &[1.0, 3.0],
+        );
+        let sol = solve_recursive(&inst);
+        assert_eq!(sol, vec![0], "pipeline 1's cache has negative net");
+    }
+
+    #[test]
+    fn matches_exhaustive_on_random_unshared_instances() {
+        // Deterministic pseudo-random nested instances; DP must equal
+        // exhaustive search exactly.
+        let mut seed = 0xDEADBEEFu64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for trial in 0..50 {
+            let n_ops = 6;
+            let mut caches = Vec::new();
+            // Generate a random laminar family: only *leaves* may be split,
+            // so no two spans ever partially overlap.
+            let mut spans: Vec<(usize, usize)> = vec![(0usize, n_ops - 1)];
+            let mut leaves: Vec<(usize, usize)> = vec![(0, n_ops - 1)];
+            for _ in 0..4 {
+                if leaves.is_empty() {
+                    break;
+                }
+                let pick = (rng() % leaves.len() as u64) as usize;
+                let (s, e) = leaves[pick];
+                if e - s < 1 {
+                    continue;
+                }
+                leaves.swap_remove(pick);
+                let mid = s + (rng() as usize % (e - s));
+                for child in [(s, mid), (mid + 1, e)] {
+                    spans.push(child);
+                    leaves.push(child);
+                }
+            }
+            for (g, &(s, e)) in spans.iter().enumerate() {
+                let benefit = (rng() % 100) as f64 / 10.0;
+                let proc = (rng() % 20) as f64 / 10.0;
+                caches.push((0usize, s, e, benefit, proc, g));
+            }
+            let group_cost: Vec<f64> = (0..caches.len())
+                .map(|_| (rng() % 30) as f64 / 10.0)
+                .collect();
+            let ops: Vec<f64> = (0..n_ops).map(|_| (rng() % 50) as f64).collect();
+            let refs: Vec<&[f64]> = vec![&ops];
+            let inst = instance(&refs, &caches, &group_cost);
+            let dp = solve_recursive(&inst);
+            let ex = super::super::exhaustive::solve_exhaustive(&inst);
+            assert!(inst.is_feasible(&dp));
+            assert!(
+                (inst.net_objective(&dp) - inst.net_objective(&ex)).abs() < 1e-9,
+                "trial {trial}: DP {} != exhaustive {}",
+                inst.net_objective(&dp),
+                inst.net_objective(&ex)
+            );
+        }
+    }
+}

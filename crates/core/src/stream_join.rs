@@ -1,0 +1,266 @@
+//! High-level facade: append-only streams in, join deltas out.
+//!
+//! [`AdaptiveJoinEngine`] speaks *update* streams (§3.1's inserts/deletes).
+//! Most applications start from **append-only** streams plus a window clause
+//! per relation (§7.1); [`StreamJoin`] owns the window operators and the
+//! engine, so callers just push arriving tuples:
+//!
+//! ```
+//! use acq::stream_join::{StreamJoin, WindowSpec};
+//! use acq_stream::{parse_query, TupleData};
+//!
+//! let query = parse_query("R(A) JOIN S(A, B) ON R.A = S.A JOIN T(B) ON S.B = T.B").unwrap();
+//! let mut join = StreamJoin::builder(query)
+//!     .window(0, WindowSpec::Count(100))
+//!     .window(1, WindowSpec::Count(100))
+//!     .window(2, WindowSpec::Count(500))
+//!     .build();
+//! join.push(0, TupleData::ints(&[1]), 0);
+//! join.push(1, TupleData::ints(&[1, 2]), 1);
+//! let deltas = join.push(2, TupleData::ints(&[2]), 2);
+//! assert_eq!(deltas.len(), 1);
+//! ```
+
+use crate::engine::{AdaptiveJoinEngine, EngineConfig};
+use acq_mjoin::plan::PlanOrders;
+use acq_stream::{
+    Composite, CountWindow, Op, QuerySchema, RelId, StreamElement, TimeWindow, TupleData, WindowOp,
+};
+
+/// Window clause for one relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowSpec {
+    /// `ROWS n`: keep the most recent `n` tuples.
+    Count(usize),
+    /// `RANGE t`: keep tuples younger than `t` nanoseconds.
+    TimeNs(u64),
+    /// No window: the relation only shrinks via explicit
+    /// [`StreamJoin::delete`] calls (materialized-view maintenance mode).
+    Unbounded,
+}
+
+enum WindowState {
+    Count(CountWindow),
+    Time(TimeWindow),
+    Unbounded,
+}
+
+/// Builder for [`StreamJoin`].
+pub struct StreamJoinBuilder {
+    query: QuerySchema,
+    windows: Vec<WindowSpec>,
+    config: EngineConfig,
+    orders: Option<PlanOrders>,
+}
+
+impl StreamJoinBuilder {
+    /// Set the window for relation `rel` (default: unbounded).
+    pub fn window(mut self, rel: u16, spec: WindowSpec) -> Self {
+        self.windows[rel as usize] = spec;
+        self
+    }
+
+    /// Use the same window for every relation.
+    pub fn window_all(mut self, spec: WindowSpec) -> Self {
+        self.windows.fill(spec);
+        self
+    }
+
+    /// Override the engine configuration.
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Override the initial pipeline orders (default: identity).
+    pub fn orders(mut self, orders: PlanOrders) -> Self {
+        self.orders = Some(orders);
+        self
+    }
+
+    /// Build the join.
+    pub fn build(self) -> StreamJoin {
+        let orders = self
+            .orders
+            .unwrap_or_else(|| PlanOrders::identity(&self.query));
+        let windows = self
+            .windows
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| match spec {
+                WindowSpec::Count(n) => WindowState::Count(CountWindow::new(RelId(i as u16), *n)),
+                WindowSpec::TimeNs(t) => WindowState::Time(TimeWindow::new(RelId(i as u16), *t)),
+                WindowSpec::Unbounded => WindowState::Unbounded,
+            })
+            .collect();
+        StreamJoin {
+            engine: AdaptiveJoinEngine::with_config(self.query, orders, self.config),
+            windows,
+            last_ts: 0,
+        }
+    }
+}
+
+/// Append-only stream join with per-relation windows.
+pub struct StreamJoin {
+    engine: AdaptiveJoinEngine,
+    windows: Vec<WindowState>,
+    last_ts: u64,
+}
+
+impl StreamJoin {
+    /// Start building a join for `query`.
+    pub fn builder(query: QuerySchema) -> StreamJoinBuilder {
+        let n = query.num_relations();
+        StreamJoinBuilder {
+            query,
+            windows: vec![WindowSpec::Unbounded; n],
+            config: EngineConfig::default(),
+            orders: None,
+        }
+    }
+
+    /// Push one arriving tuple; returns the join-result deltas it induces
+    /// (including deletions from window expiry).
+    ///
+    /// # Panics
+    /// Panics if `ts` goes backwards — §3.1 requires a global arrival order.
+    pub fn push(&mut self, rel: u16, data: TupleData, ts: u64) -> Vec<(Op, Composite)> {
+        assert!(ts >= self.last_ts, "timestamps must be nondecreasing");
+        self.last_ts = ts;
+        let r = RelId(rel);
+        let updates = match &mut self.windows[rel as usize] {
+            WindowState::Count(w) => w.push(StreamElement::new(r, data, ts)),
+            WindowState::Time(w) => w.push(StreamElement::new(r, data, ts)),
+            WindowState::Unbounded => vec![acq_stream::Update::insert(r, data, ts)],
+        };
+        let mut out = Vec::new();
+        for u in &updates {
+            out.extend(self.engine.process(u));
+        }
+        out
+    }
+
+    /// Explicitly delete a tuple (by value) from an unbounded relation —
+    /// materialized-view maintenance mode.
+    pub fn delete(&mut self, rel: u16, data: TupleData, ts: u64) -> Vec<(Op, Composite)> {
+        assert!(ts >= self.last_ts, "timestamps must be nondecreasing");
+        self.last_ts = ts;
+        self.engine
+            .process(&acq_stream::Update::delete(RelId(rel), data, ts))
+    }
+
+    /// Advance time on time-windowed relations without pushing tuples,
+    /// returning expirations.
+    pub fn advance_time(&mut self, now: u64) -> Vec<(Op, Composite)> {
+        assert!(now >= self.last_ts, "timestamps must be nondecreasing");
+        self.last_ts = now;
+        let mut expired = Vec::new();
+        for w in &mut self.windows {
+            if let WindowState::Time(tw) = w {
+                expired.extend(tw.expire(now));
+            }
+        }
+        let mut out = Vec::new();
+        for u in &expired {
+            out.extend(self.engine.process(u));
+        }
+        out
+    }
+
+    /// The underlying engine (statistics, used caches, diagnostics).
+    pub fn engine(&self) -> &AdaptiveJoinEngine {
+        &self.engine
+    }
+
+    /// Mutable engine access.
+    pub fn engine_mut(&mut self) -> &mut AdaptiveJoinEngine {
+        &mut self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain3_join(spec: WindowSpec) -> StreamJoin {
+        StreamJoin::builder(QuerySchema::chain3())
+            .window_all(spec)
+            .build()
+    }
+
+    #[test]
+    fn count_windows_expire_results() {
+        let mut j = chain3_join(WindowSpec::Count(2));
+        j.push(0, TupleData::ints(&[1]), 0);
+        j.push(1, TupleData::ints(&[1, 2]), 1);
+        let out = j.push(2, TupleData::ints(&[2]), 2);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, Op::Insert);
+        // Two more R tuples evict R=⟨1⟩: the result must be retracted.
+        j.push(0, TupleData::ints(&[5]), 3);
+        let out = j.push(0, TupleData::ints(&[6]), 4);
+        let deletes: Vec<_> = out.iter().filter(|(op, _)| *op == Op::Delete).collect();
+        assert_eq!(deletes.len(), 1, "window expiry retracts the join result");
+    }
+
+    #[test]
+    fn time_windows_and_advance_time() {
+        let mut j = chain3_join(WindowSpec::TimeNs(100));
+        j.push(0, TupleData::ints(&[1]), 0);
+        j.push(1, TupleData::ints(&[1, 2]), 10);
+        let out = j.push(2, TupleData::ints(&[2]), 20);
+        assert_eq!(out.len(), 1);
+        // At t = 500 everything has expired; the result is retracted.
+        let out = j.advance_time(500);
+        let deletes = out.iter().filter(|(op, _)| *op == Op::Delete).count();
+        assert_eq!(deletes, 1);
+        assert!(j.advance_time(600).is_empty(), "idempotent");
+    }
+
+    #[test]
+    fn unbounded_with_explicit_deletes() {
+        let mut j = chain3_join(WindowSpec::Unbounded);
+        j.push(0, TupleData::ints(&[1]), 0);
+        j.push(1, TupleData::ints(&[1, 2]), 1);
+        assert_eq!(j.push(2, TupleData::ints(&[2]), 2).len(), 1);
+        let out = j.delete(1, TupleData::ints(&[1, 2]), 3);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, Op::Delete);
+    }
+
+    #[test]
+    fn mixed_window_specs() {
+        let mut j = StreamJoin::builder(QuerySchema::chain3())
+            .window(0, WindowSpec::Count(1))
+            .window(1, WindowSpec::Unbounded)
+            .window(2, WindowSpec::TimeNs(1_000))
+            .build();
+        j.push(0, TupleData::ints(&[1]), 0);
+        j.push(1, TupleData::ints(&[1, 2]), 1);
+        assert_eq!(j.push(2, TupleData::ints(&[2]), 2).len(), 1);
+        // New R evicts the old one (count window of 1) → retraction.
+        let out = j.push(0, TupleData::ints(&[9]), 3);
+        assert!(out.iter().any(|(op, _)| *op == Op::Delete));
+    }
+
+    #[test]
+    #[should_panic(expected = "timestamps must be nondecreasing")]
+    fn backwards_time_panics() {
+        let mut j = chain3_join(WindowSpec::Count(10));
+        j.push(0, TupleData::ints(&[1]), 100);
+        j.push(0, TupleData::ints(&[2]), 50);
+    }
+
+    #[test]
+    fn engine_accessible_for_diagnostics() {
+        let mut j = chain3_join(WindowSpec::Count(50));
+        for i in 0..200i64 {
+            j.push(0, TupleData::ints(&[i % 5]), i as u64 * 3);
+            j.push(1, TupleData::ints(&[i % 5, i % 7]), i as u64 * 3 + 1);
+            j.push(2, TupleData::ints(&[i % 7]), i as u64 * 3 + 2);
+        }
+        assert!(j.engine().counters().tuples_processed > 600);
+        assert!(j.engine().check_consistency_invariant().is_empty());
+    }
+}

@@ -1,0 +1,256 @@
+//! Per-column value generators.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A column value generator. Each stream column owns one, advanced once per
+/// generated tuple.
+#[derive(Debug, Clone)]
+pub enum ColumnGen {
+    /// Sequential domain walk: the `k`-th tuple gets
+    /// `offset + stride · ⌊k / multiplicity⌋ mod domain` (when `domain > 0`;
+    /// unbounded otherwise).
+    ///
+    /// This is the paper's §7.2 data model: *"the join attributes draw values
+    /// from the same domain in the same order; the multiplicity of these
+    /// values is 1 in R and S and a variable r in T."* `stride > 1` thins the
+    /// covered domain (fractional Figure 7 selectivities); disjoint `offset`s
+    /// give zero selectivity.
+    Seq {
+        /// Consecutive repeats of each value.
+        multiplicity: u64,
+        /// Gap between consecutive values.
+        stride: u64,
+        /// Additive shift.
+        offset: i64,
+        /// Wrap-around modulus in *value steps* (0 = unbounded).
+        domain: u64,
+    },
+    /// Uniform draw from `offset .. offset + domain`.
+    Uniform {
+        /// Domain size.
+        domain: u64,
+        /// Lowest value.
+        offset: i64,
+    },
+    /// Hot-value mixture: with probability `hot_prob` emit `0`, otherwise
+    /// uniform from `1 ..= domain`. Two such columns join with probability
+    /// `h_i·h_j + (1−h_i)(1−h_j)/domain` — the knob [`crate::fit`] tunes to
+    /// hit Table 2's pairwise selectivities.
+    HotValue {
+        /// Probability of the hot value.
+        hot_prob: f64,
+        /// Cold-domain size.
+        domain: u64,
+    },
+    /// Always the same value.
+    Const(i64),
+    /// Block-random walk: arrivals `k` with the same `⌊k / repeat⌋` share one
+    /// pseudo-random value from `0..domain` (derived by hashing the block
+    /// index with `salt`, so streams with different salts are independent).
+    ///
+    /// This realizes "multiplicity `repeat`" — each value arrives `repeat`
+    /// times consecutively — *without* phase-locking several streams to the
+    /// same recent domain region the way a shared sequential walk would
+    /// (which makes star-join fanouts multiply, Figure 9).
+    BlockRandom {
+        /// Value domain `0..domain`.
+        domain: u64,
+        /// Arrivals sharing one value.
+        repeat: u64,
+        /// Stream-distinguishing salt.
+        salt: u64,
+    },
+}
+
+impl ColumnGen {
+    /// The paper's default sequential column (multiplicity 1).
+    pub fn seq() -> ColumnGen {
+        ColumnGen::Seq {
+            multiplicity: 1,
+            stride: 1,
+            offset: 0,
+            domain: 0,
+        }
+    }
+
+    /// Sequential with multiplicity `r`.
+    pub fn seq_mult(r: u64) -> ColumnGen {
+        ColumnGen::Seq {
+            multiplicity: r.max(1),
+            stride: 1,
+            offset: 0,
+            domain: 0,
+        }
+    }
+
+    /// Generate the value for local tuple index `k` of this stream.
+    pub fn value(&self, k: u64, rng: &mut SmallRng) -> i64 {
+        match *self {
+            ColumnGen::Seq {
+                multiplicity,
+                stride,
+                offset,
+                domain,
+            } => {
+                let step = k / multiplicity.max(1);
+                let step = if domain > 0 { step % domain } else { step };
+                offset + (step * stride.max(1)) as i64
+            }
+            ColumnGen::Uniform { domain, offset } => {
+                offset + rng.gen_range(0..domain.max(1)) as i64
+            }
+            ColumnGen::HotValue { hot_prob, domain } => {
+                if rng.gen_bool(hot_prob.clamp(0.0, 1.0)) {
+                    0
+                } else {
+                    1 + rng.gen_range(0..domain.max(1)) as i64
+                }
+            }
+            ColumnGen::Const(v) => v,
+            ColumnGen::BlockRandom {
+                domain,
+                repeat,
+                salt,
+            } => {
+                let block = k / repeat.max(1);
+                (acq_sketch::fx_hash_u64(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ block)
+                    % domain.max(1)) as i64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn seq_multiplicity() {
+        let g = ColumnGen::seq_mult(3);
+        let vals: Vec<i64> = (0..9).map(|k| g.value(k, &mut rng())).collect();
+        assert_eq!(vals, vec![0, 0, 0, 1, 1, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn seq_stride_and_offset() {
+        let g = ColumnGen::Seq {
+            multiplicity: 1,
+            stride: 2,
+            offset: 100,
+            domain: 0,
+        };
+        let vals: Vec<i64> = (0..4).map(|k| g.value(k, &mut rng())).collect();
+        assert_eq!(vals, vec![100, 102, 104, 106]);
+    }
+
+    #[test]
+    fn seq_domain_wraps() {
+        let g = ColumnGen::Seq {
+            multiplicity: 1,
+            stride: 1,
+            offset: 0,
+            domain: 3,
+        };
+        let vals: Vec<i64> = (0..7).map(|k| g.value(k, &mut rng())).collect();
+        assert_eq!(vals, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let g = ColumnGen::Uniform {
+            domain: 10,
+            offset: 5,
+        };
+        let mut r = rng();
+        for k in 0..1000 {
+            let v = g.value(k, &mut r);
+            assert!((5..15).contains(&v));
+        }
+    }
+
+    #[test]
+    fn hot_value_frequency() {
+        let g = ColumnGen::HotValue {
+            hot_prob: 0.3,
+            domain: 1000,
+        };
+        let mut r = rng();
+        let hots = (0..10_000).filter(|&k| g.value(k, &mut r) == 0).count();
+        let frac = hots as f64 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.03, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn const_is_const() {
+        let g = ColumnGen::Const(42);
+        assert_eq!(g.value(0, &mut rng()), 42);
+        assert_eq!(g.value(999, &mut rng()), 42);
+    }
+}
+
+#[cfg(test)]
+mod block_random_tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn block_random_repeats_within_block() {
+        let g = ColumnGen::BlockRandom {
+            domain: 100,
+            repeat: 5,
+            salt: 1,
+        };
+        let mut r = rand::rngs::SmallRng::seed_from_u64(0);
+        for b in 0..20u64 {
+            let v0 = g.value(b * 5, &mut r);
+            for k in 1..5 {
+                assert_eq!(g.value(b * 5 + k, &mut r), v0, "block {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_random_salts_decorrelate() {
+        let a = ColumnGen::BlockRandom {
+            domain: 1000,
+            repeat: 1,
+            salt: 1,
+        };
+        let b = ColumnGen::BlockRandom {
+            domain: 1000,
+            repeat: 1,
+            salt: 2,
+        };
+        let mut r = rand::rngs::SmallRng::seed_from_u64(0);
+        let matches = (0..2000u64)
+            .filter(|&k| a.value(k, &mut r) == b.value(k, &mut r))
+            .count();
+        assert!(
+            matches < 20,
+            "salted streams should rarely collide: {matches}"
+        );
+    }
+
+    #[test]
+    fn block_random_roughly_uniform() {
+        let g = ColumnGen::BlockRandom {
+            domain: 10,
+            repeat: 1,
+            salt: 7,
+        };
+        let mut r = rand::rngs::SmallRng::seed_from_u64(0);
+        let mut counts = [0usize; 10];
+        for k in 0..10_000u64 {
+            counts[g.value(k, &mut r) as usize] += 1;
+        }
+        for (v, &c) in counts.iter().enumerate() {
+            assert!((800..1200).contains(&c), "value {v}: {c}");
+        }
+    }
+}

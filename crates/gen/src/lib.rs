@@ -1,0 +1,27 @@
+//! # acq-gen — synthetic stream workload generator
+//!
+//! Reproduces the paper's experimental setup (§7.1): *"We used a synthetic
+//! data generator to produce multiple append-only streams with specified data
+//! characteristics and relative arrival rates"*, with sliding windows turning
+//! append-only streams into insert/delete update streams.
+//!
+//! * [`mod@column`] — per-column value generators: sequential domains with
+//!   controlled **multiplicity** (the paper's Figures 6–9 knob), stride and
+//!   offset (fractional/zero selectivities for Figure 7), uniform draws, and
+//!   the hot-value mixture used to hit Table 2's pairwise selectivities.
+//! * [`spec`] — stream specs (rate, window, columns), **bursts** (Figure 12's
+//!   ×20 rate spike), and the generator that merges all streams into one
+//!   globally ordered update sequence.
+//! * [`fit`] — fits hot-value mixture parameters so a star equijoin realizes
+//!   a *target pairwise-selectivity matrix* (Table 2's D1–D8 points).
+//! * [`table2`] — the paper's Table 2 sample points, verbatim.
+
+pub mod column;
+pub mod fit;
+pub mod spec;
+pub mod table2;
+
+pub use column::ColumnGen;
+pub use fit::{fit_star_selectivities, HotValueModel};
+pub use spec::{Burst, StreamSpec, Workload};
+pub use table2::{sample_point, SamplePoint, TABLE2};

@@ -1,0 +1,256 @@
+//! Stream specifications and the workload generator.
+//!
+//! A [`Workload`] holds one [`StreamSpec`] per relation (relative rate,
+//! sliding-window size, column generators) plus optional [`Burst`]s. The
+//! generator interleaves streams by rate into a single globally ordered
+//! append-only sequence (§3.1's global order), pushes each element through
+//! its relation's count window, and emits the resulting insert/delete
+//! [`Update`]s — exactly what §7.1 describes the STREAM prototype's window
+//! operators doing.
+
+use crate::column::ColumnGen;
+use acq_stream::{CountWindow, RelId, StreamElement, TupleData, Update, WindowOp};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// One input stream's characteristics.
+#[derive(Debug, Clone)]
+pub struct StreamSpec {
+    /// The relation this stream feeds.
+    pub rel: RelId,
+    /// Relative arrival rate (tuples per virtual second; only ratios
+    /// matter).
+    pub rate: f64,
+    /// Sliding-window size in tuples.
+    pub window: usize,
+    /// One generator per column.
+    pub columns: Vec<ColumnGen>,
+}
+
+impl StreamSpec {
+    /// Convenience constructor.
+    pub fn new(rel: u16, rate: f64, window: usize, columns: Vec<ColumnGen>) -> StreamSpec {
+        StreamSpec {
+            rel: RelId(rel),
+            rate,
+            window,
+            columns,
+        }
+    }
+}
+
+/// A temporary rate multiplier on one stream (Figure 12's burst: ×20 on ∆R).
+#[derive(Debug, Clone, Copy)]
+pub struct Burst {
+    /// Affected relation.
+    pub rel: RelId,
+    /// Burst starts when this many elements (across all streams) have been
+    /// generated.
+    pub start_after_elements: u64,
+    /// Burst ends after this many elements; `u64::MAX` = never (the paper's
+    /// burst "continues through the remainder of the run").
+    pub end_after_elements: u64,
+    /// Rate multiplier during the burst.
+    pub factor: f64,
+}
+
+/// A complete workload: streams + bursts + seed.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Per-stream specs, one per relation, in relation-id order.
+    pub streams: Vec<StreamSpec>,
+    /// Rate bursts.
+    pub bursts: Vec<Burst>,
+    /// RNG seed (the generator is fully deterministic).
+    pub seed: u64,
+}
+
+impl Workload {
+    /// A workload with no bursts.
+    pub fn new(streams: Vec<StreamSpec>, seed: u64) -> Workload {
+        Workload {
+            streams,
+            bursts: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Add a burst.
+    pub fn with_burst(mut self, burst: Burst) -> Workload {
+        self.bursts.push(burst);
+        self
+    }
+
+    fn rate_of(&self, rel: RelId, elements_so_far: u64) -> f64 {
+        let base = self.streams[rel.0 as usize].rate;
+        let mut rate = base;
+        for b in &self.bursts {
+            if b.rel == rel
+                && elements_so_far >= b.start_after_elements
+                && elements_so_far < b.end_after_elements
+            {
+                rate *= b.factor;
+            }
+        }
+        rate
+    }
+
+    /// Generate `total_elements` append-only arrivals (across all streams)
+    /// and return the windowed update stream, globally ordered by arrival
+    /// time. Timestamps are in virtual nanoseconds with 1 unit of rate = 1
+    /// tuple per second.
+    pub fn generate(&self, total_elements: usize) -> Vec<Update> {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let n = self.streams.len();
+        let mut windows: Vec<CountWindow> = self
+            .streams
+            .iter()
+            .map(|s| CountWindow::new(s.rel, s.window))
+            .collect();
+        // Next arrival time per stream (ns).
+        let mut next_ns: Vec<f64> = (0..n).map(|_| 0.0).collect();
+        // Stagger initial arrivals deterministically to avoid ties.
+        for (i, t) in next_ns.iter_mut().enumerate() {
+            *t = i as f64;
+        }
+        let mut counters: Vec<u64> = vec![0; n];
+        let mut out = Vec::new();
+        for produced in 0..total_elements as u64 {
+            // Earliest next arrival wins.
+            let i = (0..n)
+                .min_by(|&a, &b| next_ns[a].partial_cmp(&next_ns[b]).unwrap())
+                .expect("at least one stream");
+            let spec = &self.streams[i];
+            let ts = next_ns[i] as u64;
+            let k = counters[i];
+            counters[i] += 1;
+            let vals: Vec<i64> = spec.columns.iter().map(|c| c.value(k, &mut rng)).collect();
+            let elem = StreamElement::new(spec.rel, TupleData::ints(&vals), ts);
+            out.extend(windows[i].push(elem));
+            let rate = self.rate_of(spec.rel, produced).max(1e-9);
+            next_ns[i] += 1e9 / rate;
+        }
+        out
+    }
+}
+
+/// The paper's §7.2 default 3-way setup: `R(A) ⋈ S(A,B) ⋈ T(B)`, sequential
+/// domains, multiplicity `r` on `T.B`, `rate(∆T) = r × rate(∆R)`, windows of
+/// `window` tuples.
+pub fn chain3_default(r: u64, window: usize, seed: u64) -> Workload {
+    Workload::new(
+        vec![
+            StreamSpec::new(0, 1.0, window, vec![ColumnGen::seq()]),
+            StreamSpec::new(1, 1.0, window, vec![ColumnGen::seq(), ColumnGen::seq()]),
+            StreamSpec::new(
+                2,
+                r as f64,
+                window * r as usize,
+                vec![ColumnGen::seq_mult(r)],
+            ),
+        ],
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acq_stream::Op;
+
+    #[test]
+    fn rates_respected() {
+        let w = Workload::new(
+            vec![
+                StreamSpec::new(0, 1.0, 100, vec![ColumnGen::seq()]),
+                StreamSpec::new(1, 4.0, 100, vec![ColumnGen::seq()]),
+            ],
+            7,
+        );
+        let ups = w.generate(1000);
+        let inserts_per_rel = |r: u16| {
+            ups.iter()
+                .filter(|u| u.rel == RelId(r) && u.op == Op::Insert)
+                .count() as f64
+        };
+        let ratio = inserts_per_rel(1) / inserts_per_rel(0);
+        assert!((ratio - 4.0).abs() < 0.2, "rate ratio {ratio}");
+    }
+
+    #[test]
+    fn globally_ordered() {
+        let w = chain3_default(5, 20, 1);
+        let ups = w.generate(500);
+        assert!(ups.windows(2).all(|p| p[0].ts <= p[1].ts));
+    }
+
+    #[test]
+    fn windows_emit_deletes() {
+        let w = Workload::new(vec![StreamSpec::new(0, 1.0, 10, vec![ColumnGen::seq()])], 3);
+        let ups = w.generate(50);
+        let inserts = ups.iter().filter(|u| u.op == Op::Insert).count();
+        let deletes = ups.iter().filter(|u| u.op == Op::Delete).count();
+        assert_eq!(inserts, 50);
+        assert_eq!(deletes, 40, "window 10 retains the last 10");
+    }
+
+    #[test]
+    fn burst_multiplies_rate() {
+        let w = Workload::new(
+            vec![
+                StreamSpec::new(0, 1.0, 1000, vec![ColumnGen::seq()]),
+                StreamSpec::new(1, 1.0, 1000, vec![ColumnGen::seq()]),
+            ],
+            5,
+        )
+        .with_burst(Burst {
+            rel: RelId(0),
+            start_after_elements: 1000,
+            end_after_elements: u64::MAX,
+            factor: 20.0,
+        });
+        let ups = w.generate(3000);
+        // Before the burst both streams contribute ~equally; after it stream
+        // 0 dominates ~20:1.
+        let first: Vec<&Update> = ups.iter().take(800).collect();
+        let last: Vec<&Update> = ups.iter().rev().take(800).collect();
+        let frac0 =
+            |v: &[&Update]| v.iter().filter(|u| u.rel == RelId(0)).count() as f64 / v.len() as f64;
+        assert!(
+            (frac0(&first) - 0.5).abs() < 0.1,
+            "pre-burst {}",
+            frac0(&first)
+        );
+        assert!(frac0(&last) > 0.85, "post-burst {}", frac0(&last));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = chain3_default(5, 50, 99).generate(400);
+        let b = chain3_default(5, 50, 99).generate(400);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chain3_multiplicity_structure() {
+        let w = chain3_default(3, 30, 2);
+        let ups = w.generate(600);
+        // T inserts: each B value appears exactly 3 times consecutively.
+        let t_vals: Vec<i64> = ups
+            .iter()
+            .filter(|u| u.rel == RelId(2) && u.op == Op::Insert)
+            .map(|u| u.data.get(0).as_int().unwrap())
+            .collect();
+        for chunk in t_vals.chunks_exact(3) {
+            assert_eq!(chunk[0], chunk[1]);
+            assert_eq!(chunk[1], chunk[2]);
+        }
+        // And T runs ~3× faster than R.
+        let r_count = ups
+            .iter()
+            .filter(|u| u.rel == RelId(0) && u.op == Op::Insert)
+            .count() as f64;
+        let t_count = t_vals.len() as f64;
+        assert!((t_count / r_count - 3.0).abs() < 0.3);
+    }
+}

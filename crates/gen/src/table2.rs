@@ -1,0 +1,207 @@
+//! The paper's Table 2: relative stream arrival rates and pairwise join
+//! selectivities for the eight sample points D1–D8 of Figure 11, plus a
+//! workload builder realizing each point with the hot-value model.
+
+use crate::column::ColumnGen;
+use crate::fit::{fit_star_selectivities, HotValueModel};
+use crate::spec::{StreamSpec, Workload};
+
+/// One sample point of Table 2 (4-way star join over R, S, T, U).
+#[derive(Debug, Clone, Copy)]
+pub struct SamplePoint {
+    /// "D1" … "D8".
+    pub name: &'static str,
+    /// Relative arrival rates of R, S, T, U ("relative to the rate of
+    /// stream T").
+    pub rates: [f64; 4],
+    /// Pairwise selectivities, upper-triangle order:
+    /// [RS, RT, RU, ST, SU, TU].
+    pub sel: [f64; 6],
+}
+
+/// Table 2, verbatim.
+pub const TABLE2: [SamplePoint; 8] = [
+    SamplePoint {
+        name: "D1",
+        rates: [10.0, 1.0, 1.0, 1.0],
+        sel: [0.004, 0.005, 0.005, 0.007, 0.0045, 0.005],
+    },
+    SamplePoint {
+        name: "D2",
+        rates: [8.0, 1.0, 1.0, 8.0],
+        sel: [0.004, 0.005, 0.005, 0.007, 0.0045, 0.005],
+    },
+    SamplePoint {
+        name: "D3",
+        rates: [10.0, 15.0, 1.0, 5.0],
+        sel: [0.003, 0.005, 0.007, 0.0045, 0.006, 0.008],
+    },
+    SamplePoint {
+        name: "D4",
+        rates: [1.0, 1.0, 1.0, 1.0],
+        sel: [0.003, 0.004, 0.0067, 0.002, 0.0023, 0.0027],
+    },
+    SamplePoint {
+        name: "D5",
+        rates: [4.0, 1.0, 1.0, 4.0],
+        sel: [0.005, 0.007, 0.005, 0.006, 0.005, 0.002],
+    },
+    SamplePoint {
+        name: "D6",
+        rates: [1.0, 1.0, 1.0, 1.0],
+        sel: [0.005, 0.0033, 0.0025, 0.0067, 0.005, 0.0075],
+    },
+    SamplePoint {
+        name: "D7",
+        rates: [1.0, 1.0, 1.0, 1.0],
+        sel: [0.0; 6],
+    },
+    SamplePoint {
+        name: "D8",
+        rates: [1.0, 1.0, 1.0, 1.0],
+        sel: [0.001; 6],
+    },
+];
+
+/// Look up a sample point by name (`"D1"`…`"D8"`).
+pub fn sample_point(name: &str) -> Option<&'static SamplePoint> {
+    TABLE2.iter().find(|p| p.name.eq_ignore_ascii_case(name))
+}
+
+impl SamplePoint {
+    /// The full symmetric selectivity matrix.
+    pub fn sel_matrix(&self) -> Vec<Vec<f64>> {
+        let mut m = vec![vec![0.0; 4]; 4];
+        let pairs = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        for (k, &(i, j)) in pairs.iter().enumerate() {
+            m[i][j] = self.sel[k];
+            m[j][i] = self.sel[k];
+        }
+        m
+    }
+
+    /// Fit the hot-value model realizing this point's selectivities.
+    pub fn fit(&self) -> HotValueModel {
+        fit_star_selectivities(&self.sel_matrix())
+    }
+
+    /// Build the workload: 4 streams with the fitted hot-value join column
+    /// plus a sequential payload column, windows of `window` tuples.
+    pub fn workload(&self, window: usize, seed: u64) -> Workload {
+        let model = self.fit();
+        let streams = (0..4u16)
+            .map(|i| {
+                let join_col = if self.sel.iter().all(|&s| s == 0.0) {
+                    // D7: zero selectivity — disjoint per-relation domains.
+                    ColumnGen::Seq {
+                        multiplicity: 1,
+                        stride: 1,
+                        offset: 1_000_000_000 * (i as i64 + 1),
+                        domain: 1000,
+                    }
+                } else {
+                    ColumnGen::HotValue {
+                        hot_prob: model.hot[i as usize],
+                        domain: model.domain,
+                    }
+                };
+                StreamSpec::new(
+                    i,
+                    self.rates[i as usize],
+                    window,
+                    vec![join_col, ColumnGen::seq()],
+                )
+            })
+            .collect();
+        Workload::new(streams, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acq_stream::{Op, RelId};
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(sample_point("D3").unwrap().rates, [10.0, 15.0, 1.0, 5.0]);
+        assert_eq!(sample_point("d7").unwrap().sel, [0.0; 6]);
+        assert!(sample_point("D9").is_none());
+    }
+
+    #[test]
+    fn matrix_is_symmetric() {
+        for p in &TABLE2 {
+            let m = p.sel_matrix();
+            #[allow(clippy::needless_range_loop)] // symmetric-matrix index math
+            for i in 0..4 {
+                assert_eq!(m[i][i], 0.0);
+                for j in 0..4 {
+                    assert_eq!(m[i][j], m[j][i]);
+                }
+            }
+        }
+        assert_eq!(TABLE2[2].sel_matrix()[0][2], 0.005, "D3 R⋈T");
+    }
+
+    #[test]
+    fn d8_workload_realizes_selectivity() {
+        // Empirically check pairwise selectivity of generated windows.
+        let p = sample_point("D8").unwrap();
+        let w = p.workload(500, 42);
+        let ups = w.generate(4000);
+        // Collect final window contents per relation.
+        let mut windows: Vec<Vec<i64>> = vec![Vec::new(); 4];
+        for u in &ups {
+            let v = u.data.get(0).as_int().unwrap();
+            match u.op {
+                Op::Insert => windows[u.rel.0 as usize].push(v),
+                Op::Delete => {
+                    let idx = windows[u.rel.0 as usize]
+                        .iter()
+                        .position(|&x| x == v)
+                        .unwrap();
+                    windows[u.rel.0 as usize].swap_remove(idx);
+                }
+            }
+        }
+        let _ = RelId(0);
+        // Measure sel(0,1).
+        let (a, b) = (&windows[0], &windows[1]);
+        assert!(a.len() >= 300 && b.len() >= 300);
+        let mut matches = 0usize;
+        for x in a {
+            for y in b {
+                if x == y {
+                    matches += 1;
+                }
+            }
+        }
+        let sel = matches as f64 / (a.len() * b.len()) as f64;
+        assert!(
+            (sel - 0.001).abs() < 0.0012,
+            "empirical sel {sel} vs target 0.001"
+        );
+    }
+
+    #[test]
+    fn d7_workload_produces_no_joins() {
+        let p = sample_point("D7").unwrap();
+        let w = p.workload(200, 7);
+        let ups = w.generate(1000);
+        let mut domains: Vec<Vec<i64>> = vec![Vec::new(); 4];
+        for u in &ups {
+            if u.op == Op::Insert {
+                domains[u.rel.0 as usize].push(u.data.get(0).as_int().unwrap());
+            }
+        }
+        for i in 0..4 {
+            for j in i + 1..4 {
+                assert!(
+                    domains[i].iter().all(|v| !domains[j].contains(v)),
+                    "domains {i} and {j} overlap"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # acq-lp — dense two-phase simplex LP solver
+//!
+//! The randomized cache-selection algorithm of the paper (Theorem 4.3,
+//! Appendix B) solves the *linear relaxation* of the cache-selection integer
+//! program and rounds the fractional solution. This crate provides the LP
+//! solver that step needs: a classic dense two-phase primal simplex with
+//! Bland's anti-cycling rule. Problem sizes are tiny (the number of candidate
+//! caches is `O(n²)` for `n ≤ ~10` relations), so a dense tableau is the
+//! simplest correct tool.
+//!
+//! Supported form: minimize (or maximize) `c·x` subject to linear constraints
+//! `a·x {≤,=,≥} b` and `x ≥ 0`. Upper bounds like `x ≤ 1` are expressed as
+//! ordinary constraints.
+//!
+//! ```
+//! use acq_lp::{LinearProgram, LpResult};
+//! // max x + y  s.t.  x + 2y ≤ 4,  3x + y ≤ 6
+//! let mut lp = LinearProgram::maximize(vec![1.0, 1.0]);
+//! lp.add_le(vec![1.0, 2.0], 4.0);
+//! lp.add_le(vec![3.0, 1.0], 6.0);
+//! match lp.solve() {
+//!     LpResult::Optimal { x, objective } => {
+//!         assert!((objective - 2.8).abs() < 1e-9);
+//!         assert!((x[0] - 1.6).abs() < 1e-9 && (x[1] - 1.2).abs() < 1e-9);
+//!     }
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! ```
+
+mod simplex;
+
+pub use simplex::{Constraint, LinearProgram, LpResult, Relop};

@@ -1,0 +1,564 @@
+//! Two-phase dense primal simplex.
+
+use std::fmt;
+
+/// Numerical tolerance for pivoting and feasibility decisions.
+const EPS: f64 = 1e-9;
+
+/// Constraint comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relop {
+    /// `a·x ≤ b`
+    Le,
+    /// `a·x = b`
+    Eq,
+    /// `a·x ≥ b`
+    Ge,
+}
+
+/// One linear constraint `coeffs·x op rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Coefficients, one per structural variable (shorter vectors are
+    /// implicitly zero-padded).
+    pub coeffs: Vec<f64>,
+    /// Comparison operator.
+    pub op: Relop,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// Result of solving a linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpResult {
+    /// An optimal solution was found.
+    Optimal {
+        /// Values of the structural variables.
+        x: Vec<f64>,
+        /// Objective value in the *caller's* sense (max problems report the
+        /// maximum, min problems the minimum).
+        objective: f64,
+    },
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+}
+
+impl fmt::Display for LpResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpResult::Optimal { objective, .. } => write!(f, "optimal({objective})"),
+            LpResult::Infeasible => write!(f, "infeasible"),
+            LpResult::Unbounded => write!(f, "unbounded"),
+        }
+    }
+}
+
+/// A linear program over nonnegative variables.
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    objective: Vec<f64>,
+    maximize: bool,
+    constraints: Vec<Constraint>,
+}
+
+impl LinearProgram {
+    /// `min c·x` over `x ≥ 0`.
+    pub fn minimize(objective: Vec<f64>) -> LinearProgram {
+        LinearProgram {
+            objective,
+            maximize: false,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// `max c·x` over `x ≥ 0`.
+    pub fn maximize(objective: Vec<f64>) -> LinearProgram {
+        LinearProgram {
+            objective,
+            maximize: true,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Number of structural variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraints added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Add `coeffs·x ≤ rhs`.
+    pub fn add_le(&mut self, coeffs: Vec<f64>, rhs: f64) -> &mut Self {
+        self.add(Constraint {
+            coeffs,
+            op: Relop::Le,
+            rhs,
+        })
+    }
+
+    /// Add `coeffs·x = rhs`.
+    pub fn add_eq(&mut self, coeffs: Vec<f64>, rhs: f64) -> &mut Self {
+        self.add(Constraint {
+            coeffs,
+            op: Relop::Eq,
+            rhs,
+        })
+    }
+
+    /// Add `coeffs·x ≥ rhs`.
+    pub fn add_ge(&mut self, coeffs: Vec<f64>, rhs: f64) -> &mut Self {
+        self.add(Constraint {
+            coeffs,
+            op: Relop::Ge,
+            rhs,
+        })
+    }
+
+    /// Add a prebuilt constraint.
+    pub fn add(&mut self, c: Constraint) -> &mut Self {
+        assert!(
+            c.coeffs.len() <= self.objective.len(),
+            "constraint has more coefficients than variables"
+        );
+        self.constraints.push(c);
+        self
+    }
+
+    /// Solve with two-phase simplex.
+    pub fn solve(&self) -> LpResult {
+        Tableau::build(self).solve(self.maximize)
+    }
+}
+
+/// Dense simplex tableau.
+///
+/// Layout: `rows × (n_total + 1)` where the last column is the RHS. Row `m`
+/// (one past the constraints) is the phase-2 objective; row `m+1` is the
+/// phase-1 objective while it exists.
+struct Tableau {
+    /// Constraint rows followed by objective row(s).
+    a: Vec<Vec<f64>>,
+    m: usize,
+    /// Structural variable count.
+    n_struct: usize,
+    /// Total variable count (struct + slack/surplus + artificial).
+    n_total: usize,
+    /// First artificial variable column (== n_total when none).
+    art_start: usize,
+    /// Basis variable of each constraint row.
+    basis: Vec<usize>,
+}
+
+impl Tableau {
+    fn build(lp: &LinearProgram) -> Tableau {
+        let m = lp.constraints.len();
+        let n = lp.num_vars();
+
+        // Count auxiliary columns. Normalize rows to rhs ≥ 0 first, which can
+        // flip Le <-> Ge.
+        let mut rows: Vec<(Vec<f64>, Relop, f64)> = lp
+            .constraints
+            .iter()
+            .map(|c| {
+                let mut coeffs = c.coeffs.clone();
+                coeffs.resize(n, 0.0);
+                if c.rhs < 0.0 {
+                    let flipped = match c.op {
+                        Relop::Le => Relop::Ge,
+                        Relop::Ge => Relop::Le,
+                        Relop::Eq => Relop::Eq,
+                    };
+                    (coeffs.iter().map(|x| -x).collect(), flipped, -c.rhs)
+                } else {
+                    (coeffs, c.op, c.rhs)
+                }
+            })
+            .collect();
+
+        let n_slack = rows
+            .iter()
+            .filter(|(_, op, _)| matches!(op, Relop::Le | Relop::Ge))
+            .count();
+        let n_art = rows
+            .iter()
+            .filter(|(_, op, _)| matches!(op, Relop::Ge | Relop::Eq))
+            .count();
+        let n_total = n + n_slack + n_art;
+        let art_start = n + n_slack;
+
+        let mut a = vec![vec![0.0; n_total + 1]; m + 2];
+        let mut basis = vec![usize::MAX; m];
+        let mut slack_col = n;
+        let mut art_col = art_start;
+
+        for (i, (coeffs, op, rhs)) in rows.drain(..).enumerate() {
+            a[i][..n].copy_from_slice(&coeffs);
+            a[i][n_total] = rhs;
+            match op {
+                Relop::Le => {
+                    a[i][slack_col] = 1.0;
+                    basis[i] = slack_col;
+                    slack_col += 1;
+                }
+                Relop::Ge => {
+                    a[i][slack_col] = -1.0;
+                    slack_col += 1;
+                    a[i][art_col] = 1.0;
+                    basis[i] = art_col;
+                    art_col += 1;
+                }
+                Relop::Eq => {
+                    a[i][art_col] = 1.0;
+                    basis[i] = art_col;
+                    art_col += 1;
+                }
+            }
+        }
+
+        // Phase-2 objective row (always stored as a *minimization*).
+        for (cell, &c) in a[m].iter_mut().zip(lp.objective.iter()) {
+            *cell = if lp.maximize { -c } else { c };
+        }
+
+        // Phase-1 objective: sum of artificials; express in terms of
+        // non-basic variables by subtracting each artificial's row.
+        if n_art > 0 {
+            for cell in &mut a[m + 1][art_start..n_total] {
+                *cell = 1.0;
+            }
+            for i in 0..m {
+                if basis[i] >= art_start {
+                    let row = a[i].clone();
+                    for (j, rj) in row.iter().enumerate() {
+                        a[m + 1][j] -= rj;
+                    }
+                }
+            }
+        }
+
+        Tableau {
+            a,
+            m,
+            n_struct: n,
+            n_total,
+            art_start,
+            basis,
+        }
+    }
+
+    fn pivot(&mut self, row: usize, col: usize, obj_rows: usize) {
+        let pv = self.a[row][col];
+        debug_assert!(pv.abs() > EPS);
+        let inv = 1.0 / pv;
+        for x in &mut self.a[row] {
+            *x *= inv;
+        }
+        for i in 0..self.m + obj_rows {
+            if i == row {
+                continue;
+            }
+            let factor = self.a[i][col];
+            if factor.abs() <= EPS {
+                self.a[i][col] = 0.0;
+                continue;
+            }
+            let (pivot_row, other) = if i < row {
+                let (lo, hi) = self.a.split_at_mut(row);
+                (&hi[0], &mut lo[i])
+            } else {
+                let (lo, hi) = self.a.split_at_mut(i);
+                (&lo[row], &mut hi[0])
+            };
+            for (o, p) in other.iter_mut().zip(pivot_row.iter()) {
+                *o -= factor * p;
+            }
+            other[col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+
+    /// Run simplex iterations on objective row `obj_row` considering columns
+    /// `0..max_col`. Returns `false` if unbounded.
+    fn iterate(&mut self, obj_row: usize, max_col: usize, obj_rows: usize) -> bool {
+        loop {
+            // Bland's rule: entering variable = lowest index with negative
+            // reduced cost.
+            let mut enter = None;
+            for j in 0..max_col {
+                if self.a[obj_row][j] < -EPS {
+                    enter = Some(j);
+                    break;
+                }
+            }
+            let Some(col) = enter else {
+                return true; // optimal
+            };
+            // Ratio test; Bland tie-break on basis index.
+            let mut leave: Option<(usize, f64)> = None;
+            for i in 0..self.m {
+                let aij = self.a[i][col];
+                if aij > EPS {
+                    let ratio = self.a[i][self.n_total] / aij;
+                    match leave {
+                        None => leave = Some((i, ratio)),
+                        Some((bi, br)) => {
+                            if ratio < br - EPS
+                                || (ratio < br + EPS && self.basis[i] < self.basis[bi])
+                            {
+                                leave = Some((i, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((row, _)) = leave else {
+                return false; // unbounded
+            };
+            self.pivot(row, col, obj_rows);
+        }
+    }
+
+    fn solve(mut self, maximize: bool) -> LpResult {
+        let m = self.m;
+        // Phase 1 (only if artificials exist).
+        if self.art_start < self.n_total {
+            // Phase-1 may pivot on any column except we never *re-enter* an
+            // artificial (allowed by theory to enter, but excluding them is
+            // safe since they start basic).
+            if !self.iterate(m + 1, self.art_start, 2) {
+                // Phase-1 objective is bounded below by 0; "unbounded" cannot
+                // happen with a correct tableau, treat as infeasible.
+                return LpResult::Infeasible;
+            }
+            if self.a[m + 1][self.n_total] < -EPS {
+                // Minimization of nonneg sum went negative: numerical noise.
+                return LpResult::Infeasible;
+            }
+            if self.a[m + 1][self.n_total] > EPS {
+                return LpResult::Infeasible;
+            }
+            // Drive any artificial still in the basis out (degenerate rows).
+            for i in 0..m {
+                if self.basis[i] >= self.art_start {
+                    let col = (0..self.art_start).find(|&j| self.a[i][j].abs() > EPS);
+                    match col {
+                        Some(j) => self.pivot(i, j, 2),
+                        None => {
+                            // Redundant row: everything zero; harmless.
+                        }
+                    }
+                }
+            }
+        }
+        // Phase 2 over structural + slack columns only.
+        if !self.iterate(m, self.art_start, 1) {
+            return LpResult::Unbounded;
+        }
+        let mut x = vec![0.0; self.n_struct];
+        for i in 0..m {
+            let b = self.basis[i];
+            if b < self.n_struct {
+                x[b] = self.a[i][self.n_total];
+            }
+        }
+        // Objective row stores minimization value negated at RHS.
+        let min_value = -self.a[m][self.n_total];
+        let objective = if maximize { -min_value } else { min_value };
+        LpResult::Optimal { x, objective }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn optimal(r: LpResult) -> (Vec<f64>, f64) {
+        match r {
+            LpResult::Optimal { x, objective } => (x, objective),
+            other => panic!("expected optimal, got {other}"),
+        }
+    }
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-7
+    }
+
+    #[test]
+    fn max_two_var() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), obj 36.
+        let mut lp = LinearProgram::maximize(vec![3.0, 5.0]);
+        lp.add_le(vec![1.0, 0.0], 4.0);
+        lp.add_le(vec![0.0, 2.0], 12.0);
+        lp.add_le(vec![3.0, 2.0], 18.0);
+        let (x, obj) = optimal(lp.solve());
+        assert!(approx(obj, 36.0), "obj {obj}");
+        assert!(approx(x[0], 2.0) && approx(x[1], 6.0), "x {x:?}");
+    }
+
+    #[test]
+    fn min_with_ge_constraints() {
+        // min 2x + 3y s.t. x + y ≥ 4, x + 3y ≥ 6 → (3, 1), obj 9.
+        let mut lp = LinearProgram::minimize(vec![2.0, 3.0]);
+        lp.add_ge(vec![1.0, 1.0], 4.0);
+        lp.add_ge(vec![1.0, 3.0], 6.0);
+        let (x, obj) = optimal(lp.solve());
+        assert!(approx(obj, 9.0), "obj {obj}");
+        assert!(approx(x[0], 3.0) && approx(x[1], 1.0), "x {x:?}");
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 3, x ≤ 1 → x=0, y=1.5, obj 1.5.
+        let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
+        lp.add_eq(vec![1.0, 2.0], 3.0);
+        lp.add_le(vec![1.0, 0.0], 1.0);
+        let (x, obj) = optimal(lp.solve());
+        assert!(approx(obj, 1.5), "obj {obj}");
+        assert!(approx(x[0], 0.0) && approx(x[1], 1.5), "x {x:?}");
+        // And with a maximization over the same region: x=1, y=1 is *not*
+        // optimal either — max x + y grows by lowering y? No: y=(3−x)/2, so
+        // obj = 1.5 + x/2 is maximized at x=1 → (1, 1), obj 2.
+        let mut lp = LinearProgram::maximize(vec![1.0, 1.0]);
+        lp.add_eq(vec![1.0, 2.0], 3.0);
+        lp.add_le(vec![1.0, 0.0], 1.0);
+        let (x, obj) = optimal(lp.solve());
+        assert!(approx(obj, 2.0), "obj {obj}");
+        assert!(approx(x[0], 1.0) && approx(x[1], 1.0), "x {x:?}");
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LinearProgram::maximize(vec![1.0]);
+        lp.add_le(vec![1.0], 1.0);
+        lp.add_ge(vec![1.0], 2.0);
+        assert_eq!(lp.solve(), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LinearProgram::maximize(vec![1.0, 0.0]);
+        lp.add_ge(vec![1.0, -1.0], 0.0);
+        assert_eq!(lp.solve(), LpResult::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // x ≤ 5 written as -x ≥ -5.
+        let mut lp = LinearProgram::maximize(vec![1.0]);
+        lp.add_ge(vec![-1.0], -5.0);
+        let (x, obj) = optimal(lp.solve());
+        assert!(approx(obj, 5.0) && approx(x[0], 5.0));
+    }
+
+    #[test]
+    fn degenerate_does_not_cycle() {
+        // Klee-Minty-ish degenerate instance; Bland's rule must terminate.
+        let mut lp = LinearProgram::maximize(vec![0.75, -150.0, 0.02, -6.0]);
+        lp.add_le(vec![0.25, -60.0, -0.04, 9.0], 0.0);
+        lp.add_le(vec![0.5, -90.0, -0.02, 3.0], 0.0);
+        lp.add_le(vec![0.0, 0.0, 1.0, 0.0], 1.0);
+        let (_, obj) = optimal(lp.solve());
+        assert!(approx(obj, 0.05), "beale cycling instance obj {obj}");
+    }
+
+    #[test]
+    fn zero_constraint_lp() {
+        // min x with no constraints → x = 0.
+        let lp = LinearProgram::minimize(vec![1.0, 2.0]);
+        let (x, obj) = optimal(lp.solve());
+        assert!(approx(obj, 0.0));
+        assert!(approx(x[0], 0.0) && approx(x[1], 0.0));
+    }
+
+    #[test]
+    fn set_cover_style_relaxation() {
+        // The cache-selection LP shape: coverage equalities + group linking.
+        // Operators p1, p2; caches: c1 covers {p1}, c2 covers {p2},
+        // c12 covers both. Costs: B1=5, B2=5, B12=4 (+ group cost via z: L=2).
+        // min 5 x1 + 5 x2 + 4 x12 + 2 z
+        //  s.t. x1 + x12 = 1; x2 + x12 = 1; z ≥ x12 → x12 - z ≤ 0.
+        let mut lp = LinearProgram::minimize(vec![5.0, 5.0, 4.0, 2.0]);
+        lp.add_eq(vec![1.0, 0.0, 1.0, 0.0], 1.0);
+        lp.add_eq(vec![0.0, 1.0, 1.0, 0.0], 1.0);
+        lp.add_le(vec![0.0, 0.0, 1.0, -1.0], 0.0);
+        let (x, obj) = optimal(lp.solve());
+        // Choosing c12 (+z) costs 6 < 10; LP optimum is integral here.
+        assert!(approx(obj, 6.0), "obj {obj}");
+        assert!(approx(x[2], 1.0) && approx(x[3], 1.0), "x {x:?}");
+    }
+
+    #[test]
+    fn fractional_optimum_possible() {
+        // Odd-cycle vertex cover relaxation has the classic 1/2 optimum.
+        // min x1+x2+x3 s.t. x1+x2 ≥ 1, x2+x3 ≥ 1, x1+x3 ≥ 1.
+        let mut lp = LinearProgram::minimize(vec![1.0, 1.0, 1.0]);
+        lp.add_ge(vec![1.0, 1.0, 0.0], 1.0);
+        lp.add_ge(vec![0.0, 1.0, 1.0], 1.0);
+        lp.add_ge(vec![1.0, 0.0, 1.0], 1.0);
+        let (x, obj) = optimal(lp.solve());
+        assert!(approx(obj, 1.5), "obj {obj}");
+        for v in x {
+            assert!(v > -1e-9 && v < 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn redundant_equalities_ok() {
+        // x + y = 2 stated twice.
+        let mut lp = LinearProgram::minimize(vec![1.0, 0.0]);
+        lp.add_eq(vec![1.0, 1.0], 2.0);
+        lp.add_eq(vec![1.0, 1.0], 2.0);
+        let (x, obj) = optimal(lp.solve());
+        assert!(approx(obj, 0.0));
+        assert!(approx(x[1], 2.0));
+    }
+
+    #[test]
+    fn short_coefficient_vectors_zero_padded() {
+        let mut lp = LinearProgram::maximize(vec![1.0, 1.0]);
+        lp.add_le(vec![1.0], 3.0); // x ≤ 3 only
+        lp.add_le(vec![0.0, 1.0], 2.0);
+        let (x, obj) = optimal(lp.solve());
+        assert!(approx(obj, 5.0));
+        assert!(approx(x[0], 3.0) && approx(x[1], 2.0));
+    }
+
+    #[test]
+    fn feasibility_of_solution_random_instances() {
+        // Deterministic pseudo-random feasible instances: verify returned
+        // point satisfies every constraint and beats a reference point.
+        let mut seed = 0x12345678u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed % 1000) as f64 / 100.0
+        };
+        for _ in 0..25 {
+            let n = 4;
+            let c: Vec<f64> = (0..n).map(|_| rng() + 0.1).collect();
+            let mut lp = LinearProgram::maximize(c.clone());
+            let mut cons = Vec::new();
+            for _ in 0..5 {
+                let a: Vec<f64> = (0..n).map(|_| rng() + 0.1).collect();
+                let b = rng() + 1.0;
+                lp.add_le(a.clone(), b);
+                cons.push((a, b));
+            }
+            let (x, obj) = optimal(lp.solve());
+            for (a, b) in &cons {
+                let lhs: f64 = a.iter().zip(&x).map(|(ai, xi)| ai * xi).sum();
+                assert!(lhs <= b + 1e-6, "constraint violated: {lhs} > {b}");
+            }
+            // Origin is feasible with objective 0; optimum must be ≥ 0.
+            assert!(obj >= -1e-9);
+            let recomputed: f64 = c.iter().zip(&x).map(|(ci, xi)| ci * xi).sum();
+            assert!(approx(recomputed, obj), "objective mismatch");
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! [`JoinCore`]: relation stores + query graph + virtual clock.
+//!
+//! The single-operator primitive [`JoinCore::probe_join`] implements `./_{i_j}`
+//! of §3.1 — join a (composite) input tuple with one relation, enforcing all
+//! compiled predicates, via hash index when the operator has an access path
+//! and nested-loop scan otherwise — charging the virtual clock for every
+//! physical step. Plain MJoin, the XJoin baseline, and the A-Caching engine
+//! all drive this primitive; they differ only in *when* they call it and what
+//! state they maintain around it.
+
+use crate::clock::{CostModel, VirtualClock};
+use crate::plan::CompiledOp;
+use acq_relation::Relation;
+use acq_stream::{Composite, Op, QuerySchema, RelId, TupleRef, Update};
+
+/// Shared execution state: one [`Relation`] per joined relation, the query
+/// graph, the cost model, and the virtual clock.
+#[derive(Debug)]
+pub struct JoinCore {
+    query: QuerySchema,
+    relations: Vec<Relation>,
+    cost: CostModel,
+    clock: VirtualClock,
+}
+
+impl JoinCore {
+    /// Build a core for `query` with hash indexes on **every join-attribute
+    /// column** (§7.1: hash indexes by default).
+    pub fn new(query: QuerySchema) -> JoinCore {
+        JoinCore::with_cost_model(query, CostModel::default())
+    }
+
+    /// Like [`JoinCore::new`] with an explicit cost model.
+    pub fn with_cost_model(query: QuerySchema, cost: CostModel) -> JoinCore {
+        let mut relations: Vec<Relation> = query
+            .rel_ids()
+            .map(|r| Relation::new(r, query.relation(r).arity()))
+            .collect();
+        for p in query.predicates() {
+            for a in [p.left, p.right] {
+                if !relations[a.rel.0 as usize].has_index(a.col) {
+                    relations[a.rel.0 as usize].add_index(a.col);
+                }
+            }
+        }
+        JoinCore {
+            query,
+            relations,
+            cost,
+            clock: VirtualClock::new(),
+        }
+    }
+
+    /// The query graph.
+    pub fn query(&self) -> &QuerySchema {
+        &self.query
+    }
+
+    /// Relation store accessor.
+    pub fn relation(&self, r: RelId) -> &Relation {
+        &self.relations[r.0 as usize]
+    }
+
+    /// Mutable relation store accessor (index management in experiments).
+    pub fn relation_mut(&mut self, r: RelId) -> &mut Relation {
+        &mut self.relations[r.0 as usize]
+    }
+
+    /// All relation stores.
+    pub fn relations(&self) -> &[Relation] {
+        &self.relations
+    }
+
+    /// The cost model in effect.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Current virtual time (ns).
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// Current virtual time (s).
+    pub fn now_secs(&self) -> f64 {
+        self.clock.now_secs()
+    }
+
+    /// Charge arbitrary virtual time (callers layering extra machinery —
+    /// caches, profiling — charge through this).
+    pub fn charge(&mut self, ns: u64) {
+        self.clock.charge(ns);
+    }
+
+    /// Apply an update to its relation store, charging maintenance cost.
+    ///
+    /// * `Insert` mints and returns the stored tuple's reference.
+    /// * `Delete` removes one instance with matching data and returns its
+    ///   reference; returns `None` (and charges nothing further) if no
+    ///   instance matches — a window never produces such a delete, but
+    ///   defensive callers may feed arbitrary update streams.
+    pub fn apply_update(&mut self, u: &Update) -> Option<TupleRef> {
+        match u.op {
+            Op::Insert => {
+                self.clock.charge(self.cost.store_insert);
+                Some(self.relations[u.rel.0 as usize].insert(u.data.clone()))
+            }
+            Op::Delete => {
+                self.clock.charge(self.cost.store_delete);
+                self.relations[u.rel.0 as usize].delete(&u.data)
+            }
+        }
+    }
+
+    /// Execute one join operator: join `input` with `op.target`, returning
+    /// the matching concatenations `input · t`.
+    ///
+    /// Results are appended to `out` (callers reuse buffers across calls to
+    /// keep the hot path allocation-free). Returns the number of matches.
+    pub fn probe_join(
+        &mut self,
+        input: &Composite,
+        op: &CompiledOp,
+        out: &mut Vec<Composite>,
+    ) -> usize {
+        let rel = &self.relations[op.target.0 as usize];
+        let before = out.len();
+        match op.index_access {
+            Some((col, probe_attr)) => {
+                let v = input
+                    .get(probe_attr)
+                    .expect("probe attribute must be bound in the prefix");
+                if v.is_null() {
+                    // Equijoin: NULL matches nothing; still pay the probe.
+                    self.clock.charge(self.cost.index_probe);
+                    return 0;
+                }
+                let mut matches = 0usize;
+                for t in rel.probe(col, v) {
+                    matches += 1;
+                    if residuals_hold(input, t, &op.residual) {
+                        out.push(input.extend_with(t.clone()));
+                    }
+                }
+                let produced = out.len() - before;
+                self.clock.charge(
+                    self.cost.indexed_join(matches, op.residual.len())
+                        + produced as u64 * self.cost.concat,
+                );
+                produced
+            }
+            None => {
+                let scanned = rel.len();
+                for t in rel.scan() {
+                    if residuals_hold(input, t, &op.residual) {
+                        out.push(input.extend_with(t.clone()));
+                    }
+                }
+                let produced = out.len() - before;
+                self.clock.charge(
+                    self.cost.scan_join(scanned, op.residual.len())
+                        + produced as u64 * self.cost.concat,
+                );
+                produced
+            }
+        }
+    }
+
+    /// Run `seed` through a full compiled pipeline (no caches), returning all
+    /// n-way results. This is the inner loop of plain MJoin processing.
+    pub fn run_pipeline(&mut self, seed: Composite, ops: &[CompiledOp]) -> Vec<Composite> {
+        let mut frontier = vec![seed];
+        let mut next = Vec::new();
+        for op in ops {
+            if frontier.is_empty() {
+                break;
+            }
+            next.clear();
+            for c in &frontier {
+                self.probe_join(c, op, &mut next);
+            }
+            std::mem::swap(&mut frontier, &mut next);
+        }
+        frontier
+    }
+
+    /// Charge the per-result output cost for `count` emitted deltas.
+    pub fn charge_outputs(&mut self, count: usize) {
+        self.clock.charge(count as u64 * self.cost.emit_output);
+    }
+}
+
+/// Evaluate residual predicates `(target attr, prefix attr)` between a
+/// candidate target tuple and the bound prefix.
+#[inline]
+fn residuals_hold(
+    input: &Composite,
+    candidate: &TupleRef,
+    residual: &[(acq_stream::AttrRef, acq_stream::AttrRef)],
+) -> bool {
+    residual.iter().all(|(t_attr, p_attr)| {
+        let tv = candidate.data.get(t_attr.col.0);
+        match input.get(*p_attr) {
+            Some(pv) => tv.join_eq(pv),
+            None => false,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{CompiledOp, PipelineOrder};
+    use acq_stream::{QuerySchema, TupleData};
+
+    fn chain3_core() -> JoinCore {
+        JoinCore::new(QuerySchema::chain3())
+    }
+
+    fn ins(core: &mut JoinCore, rel: u16, vals: &[i64]) -> TupleRef {
+        core.apply_update(&Update::insert(RelId(rel), TupleData::ints(vals), 0))
+            .unwrap()
+    }
+
+    #[test]
+    fn indexes_created_on_join_columns() {
+        let core = chain3_core();
+        assert!(core.relation(RelId(0)).has_index(acq_stream::ColId(0))); // R.A
+        assert!(core.relation(RelId(1)).has_index(acq_stream::ColId(0))); // S.A
+        assert!(core.relation(RelId(1)).has_index(acq_stream::ColId(1))); // S.B
+        assert!(core.relation(RelId(2)).has_index(acq_stream::ColId(0))); // T.B
+    }
+
+    #[test]
+    fn paper_example_3_1() {
+        // Figure 2(b): R1 = {0,2}, R2 = {(1,2),(1,3),(3,4)}, R3 = {2,6};
+        // insertion ⟨1⟩ on ∆R1 produces ⟨1,1,2,2⟩ only.
+        let mut core = chain3_core();
+        ins(&mut core, 0, &[0]);
+        ins(&mut core, 0, &[2]);
+        ins(&mut core, 1, &[1, 2]);
+        ins(&mut core, 1, &[1, 3]);
+        ins(&mut core, 1, &[3, 4]);
+        ins(&mut core, 2, &[2]);
+        ins(&mut core, 2, &[6]);
+
+        let r_new = ins(&mut core, 0, &[1]);
+        let order = PipelineOrder {
+            stream: RelId(0),
+            order: vec![RelId(1), RelId(2)],
+        };
+        let ops = CompiledOp::compile_pipeline(core.query(), core.relations(), &order);
+        let results = core.run_pipeline(Composite::unit(r_new), &ops);
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert_eq!(
+            r.get(acq_stream::AttrRef::new(0, 0)).unwrap().as_int(),
+            Some(1)
+        );
+        assert_eq!(
+            r.get(acq_stream::AttrRef::new(1, 1)).unwrap().as_int(),
+            Some(2)
+        );
+        assert_eq!(
+            r.get(acq_stream::AttrRef::new(2, 0)).unwrap().as_int(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn intermediate_fanout() {
+        // The first operator in Example 3.1 produces two intermediate tuples.
+        let mut core = chain3_core();
+        ins(&mut core, 1, &[1, 2]);
+        ins(&mut core, 1, &[1, 3]);
+        let r_new = ins(&mut core, 0, &[1]);
+        let op = CompiledOp::compile(core.query(), core.relations(), &[RelId(0)], RelId(1));
+        let mut out = Vec::new();
+        let n = core.probe_join(&Composite::unit(r_new), &op, &mut out);
+        assert_eq!(n, 2);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn probe_charges_clock() {
+        let mut core = chain3_core();
+        ins(&mut core, 1, &[1, 2]);
+        let before = core.now_ns();
+        let r_new = ins(&mut core, 0, &[1]);
+        let op = CompiledOp::compile(core.query(), core.relations(), &[RelId(0)], RelId(1));
+        let mut out = Vec::new();
+        core.probe_join(&Composite::unit(r_new), &op, &mut out);
+        let cost = core.now_ns() - before;
+        let m = core.cost_model();
+        assert_eq!(cost, m.store_insert + m.indexed_join(1, 0) + m.concat);
+    }
+
+    #[test]
+    fn scan_join_without_index() {
+        let mut core = chain3_core();
+        core.relation_mut(RelId(1)).drop_index(acq_stream::ColId(0));
+        ins(&mut core, 1, &[1, 2]);
+        ins(&mut core, 1, &[2, 3]);
+        ins(&mut core, 1, &[1, 4]);
+        let r_new = ins(&mut core, 0, &[1]);
+        let op = CompiledOp::compile(core.query(), core.relations(), &[RelId(0)], RelId(1));
+        assert!(op.index_access.is_none());
+        let mut out = Vec::new();
+        let n = core.probe_join(&Composite::unit(r_new), &op, &mut out);
+        assert_eq!(n, 2, "two S tuples with A=1");
+    }
+
+    #[test]
+    fn null_probe_matches_nothing() {
+        let mut core = chain3_core();
+        core.apply_update(&Update::insert(
+            RelId(1),
+            TupleData::new(vec![acq_stream::Value::Null, acq_stream::Value::Int(1)]),
+            0,
+        ));
+        let r_new = core
+            .apply_update(&Update::insert(
+                RelId(0),
+                TupleData::new(vec![acq_stream::Value::Null]),
+                0,
+            ))
+            .unwrap();
+        let op = CompiledOp::compile(core.query(), core.relations(), &[RelId(0)], RelId(1));
+        let mut out = Vec::new();
+        let n = core.probe_join(&Composite::unit(r_new), &op, &mut out);
+        assert_eq!(n, 0, "NULL = NULL must not join");
+    }
+
+    #[test]
+    fn delete_of_absent_tuple_is_noop() {
+        let mut core = chain3_core();
+        let removed = core.apply_update(&Update::delete(RelId(0), TupleData::ints(&[9]), 0));
+        assert!(removed.is_none());
+        assert_eq!(core.relation(RelId(0)).len(), 0);
+    }
+
+    #[test]
+    fn run_pipeline_empty_frontier_short_circuits() {
+        let mut core = chain3_core();
+        // Empty S: pipeline dies at the first operator.
+        let r_new = ins(&mut core, 0, &[1]);
+        let order = PipelineOrder {
+            stream: RelId(0),
+            order: vec![RelId(1), RelId(2)],
+        };
+        let ops = CompiledOp::compile_pipeline(core.query(), core.relations(), &order);
+        let results = core.run_pipeline(Composite::unit(r_new), &ops);
+        assert!(results.is_empty());
+    }
+}

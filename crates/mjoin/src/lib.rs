@@ -1,0 +1,43 @@
+//! # acq-mjoin — MJoin execution engine and baselines
+//!
+//! The execution substrate the paper's A-Caching algorithm runs on, plus the
+//! two baseline plan families it is evaluated against:
+//!
+//! * [`clock`] — the deterministic **virtual cost clock**. The paper reports
+//!   wall-clock tuple-processing rates on the authors' testbed; we charge
+//!   every physical operation (index probe, match retrieval, predicate
+//!   evaluation, tuple concatenation, store maintenance, cache probe/update,
+//!   Bloom insert) a calibrated number of virtual nanoseconds, making every
+//!   experiment deterministic and machine-independent while preserving
+//!   *relative* costs (see DESIGN.md, substitution 1).
+//! * [`plan`] — pipeline orders and compiled join operators (`./_ij` of §3.1:
+//!   each operator joins its input with one relation, enforcing all
+//!   predicates against the relations already joined, via hash index when
+//!   available).
+//! * [`exec`] — [`exec::JoinCore`]: relation stores + query graph + clock;
+//!   the single-operator `probe_join` primitive that MJoin, XJoin, and the
+//!   A-Caching engine all drive.
+//! * [`mjoin`] — the plain MJoin executor [`mjoin::MJoin`] (baseline `M`).
+//! * [`ordering`] — A-Greedy–style adaptive join ordering (reference \[5\] of
+//!   the paper), used by both MJoin and A-Caching plans.
+//! * [`xjoin`] — the XJoin baseline (`X`): binary join trees with fully
+//!   materialized intermediate subresults, plus exhaustive best-tree search.
+//! * [`oracle`] — a naive full-recomputation oracle used by tests to verify
+//!   that every executor produces exactly the correct output delta multiset.
+
+pub mod clock;
+pub mod exec;
+pub mod mjoin;
+pub mod oracle;
+pub mod ordering;
+pub mod plan;
+pub mod stats;
+pub mod xjoin;
+
+pub use clock::{CostModel, VirtualClock};
+pub use exec::JoinCore;
+pub use mjoin::MJoin;
+pub use ordering::GreedyOrderer;
+pub use plan::{CompiledOp, PipelineOrder, PlanOrders};
+pub use stats::WorkloadStats;
+pub use xjoin::{JoinTree, XJoin};

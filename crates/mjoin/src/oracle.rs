@@ -1,0 +1,296 @@
+//! Naive full-recomputation oracle for correctness testing.
+//!
+//! Every executor in this workspace (MJoin, XJoin, the A-Caching engine in
+//! any cache configuration) must produce *exactly* the delta multiset that a
+//! from-scratch nested-loop join would. [`Oracle`] maintains plain multiset
+//! relation contents and computes, per update, the canonical delta rows —
+//! tests diff these against executor output via [`canonical_rows`] /
+//! [`multiset_diff`].
+
+use acq_stream::{Composite, Op, QuerySchema, RelId, TupleData, Update};
+use std::collections::HashMap;
+
+/// Canonical form of one n-way join result: the per-relation tuple data in
+/// relation-id order.
+pub type CanonicalRow = Vec<TupleData>;
+
+/// Canonicalize an executor's composite result (must contain all n parts).
+pub fn canonical_rows(c: &Composite, n: usize) -> CanonicalRow {
+    let mut row: Vec<Option<TupleData>> = vec![None; n];
+    for part in c.parts() {
+        let slot = &mut row[part.rel.0 as usize];
+        assert!(slot.is_none(), "duplicate relation in composite");
+        *slot = Some(part.data.clone());
+    }
+    row.into_iter()
+        .map(|t| t.expect("composite must be complete"))
+        .collect()
+}
+
+/// Signed multiset over canonical rows: `+k` means k more insertions than
+/// deletions of that row.
+pub fn signed_multiset(deltas: &[(Op, CanonicalRow)]) -> HashMap<CanonicalRow, i64> {
+    let mut m: HashMap<CanonicalRow, i64> = HashMap::new();
+    for (op, row) in deltas {
+        let e = m.entry(row.clone()).or_insert(0);
+        *e += op.sign();
+        if *e == 0 {
+            m.remove(row);
+        }
+    }
+    m
+}
+
+/// Difference between two delta lists as signed multisets; empty when they
+/// represent the same net effect.
+pub fn multiset_diff(
+    a: &[(Op, CanonicalRow)],
+    b: &[(Op, CanonicalRow)],
+) -> HashMap<CanonicalRow, i64> {
+    let mut m = signed_multiset(a);
+    for (op, row) in b {
+        let e = m.entry(row.clone()).or_insert(0);
+        *e -= op.sign();
+        if *e == 0 {
+            m.remove(row);
+        }
+    }
+    m
+}
+
+/// Naive relation state + delta computation.
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    query: QuerySchema,
+    contents: Vec<Vec<TupleData>>,
+}
+
+impl Oracle {
+    /// Empty oracle for a query.
+    pub fn new(query: QuerySchema) -> Oracle {
+        let n = query.num_relations();
+        Oracle {
+            query,
+            contents: vec![Vec::new(); n],
+        }
+    }
+
+    /// Current multiset contents of relation `r`.
+    pub fn contents(&self, r: RelId) -> &[TupleData] {
+        &self.contents[r.0 as usize]
+    }
+
+    /// Apply one update and return the canonical delta rows it induces
+    /// (paired with the update's own op — an insert yields `Insert` rows, a
+    /// delete `Delete` rows).
+    pub fn apply_and_delta(&mut self, u: &Update) -> Vec<(Op, CanonicalRow)> {
+        match u.op {
+            Op::Insert => {
+                self.contents[u.rel.0 as usize].push(u.data.clone());
+                self.join_fixed(u.rel, &u.data)
+                    .into_iter()
+                    .map(|row| (Op::Insert, row))
+                    .collect()
+            }
+            Op::Delete => {
+                let list = &mut self.contents[u.rel.0 as usize];
+                match list.iter().rposition(|t| *t == u.data) {
+                    Some(pos) => {
+                        list.remove(pos);
+                        self.join_fixed(u.rel, &u.data)
+                            .into_iter()
+                            .map(|row| (Op::Delete, row))
+                            .collect()
+                    }
+                    None => Vec::new(),
+                }
+            }
+        }
+    }
+
+    /// All n-way join rows where relation `fixed` is bound to `tuple` and the
+    /// other relations range over current contents.
+    pub fn join_fixed(&self, fixed: RelId, tuple: &TupleData) -> Vec<CanonicalRow> {
+        let n = self.query.num_relations();
+        let mut row: Vec<Option<&TupleData>> = vec![None; n];
+        row[fixed.0 as usize] = Some(tuple);
+        let mut out = Vec::new();
+        self.recurse(0, fixed, &mut row, &mut out);
+        out
+    }
+
+    /// The complete n-way join of current contents.
+    pub fn full_join(&self) -> Vec<CanonicalRow> {
+        let n = self.query.num_relations();
+        let mut out = Vec::new();
+        // Fix nothing: recurse with a sentinel fixed relation out of range.
+        let mut row: Vec<Option<&TupleData>> = vec![None; n];
+        self.recurse(0, RelId(u16::MAX), &mut row, &mut out);
+        out
+    }
+
+    fn recurse<'s>(
+        &'s self,
+        depth: usize,
+        fixed: RelId,
+        row: &mut Vec<Option<&'s TupleData>>,
+        out: &mut Vec<CanonicalRow>,
+    ) {
+        let n = self.query.num_relations();
+        if depth == n {
+            out.push(row.iter().map(|t| (*t.unwrap()).clone()).collect());
+            return;
+        }
+        let r = RelId(depth as u16);
+        if r == fixed {
+            if self.check_preds(depth, row) {
+                self.recurse(depth + 1, fixed, row, out);
+            }
+            return;
+        }
+        // Clone the candidate list indices to satisfy borrowck cheaply.
+        for i in 0..self.contents[depth].len() {
+            row[depth] = Some(&self.contents[depth][i]);
+            if self.check_preds(depth, row) {
+                self.recurse(depth + 1, fixed, row, out);
+            }
+        }
+        row[depth] = None;
+    }
+
+    /// Check every predicate whose endpoints are both bound at `row[..=depth]`
+    /// and involve relation `depth` (earlier predicates were checked at
+    /// earlier depths).
+    fn check_preds(&self, depth: usize, row: &[Option<&TupleData>]) -> bool {
+        for p in self.query.predicates() {
+            let (hi, lo) = if p.left.rel.0 as usize >= p.right.rel.0 as usize {
+                (p.left, p.right)
+            } else {
+                (p.right, p.left)
+            };
+            if hi.rel.0 as usize != depth {
+                continue;
+            }
+            let (Some(a), Some(b)) = (row[hi.rel.0 as usize], row[lo.rel.0 as usize]) else {
+                continue;
+            };
+            if !a.get(hi.col.0).join_eq(b.get(lo.col.0)) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upd(rel: u16, op: Op, vals: &[i64]) -> Update {
+        Update {
+            op,
+            rel: RelId(rel),
+            data: TupleData::ints(vals),
+            ts: 0,
+        }
+    }
+
+    #[test]
+    fn oracle_matches_paper_example() {
+        let mut o = Oracle::new(QuerySchema::chain3());
+        for (rel, vals) in [
+            (0u16, vec![0i64]),
+            (0, vec![2]),
+            (1, vec![1, 2]),
+            (1, vec![1, 3]),
+            (1, vec![3, 4]),
+            (2, vec![2]),
+            (2, vec![6]),
+        ] {
+            assert!(o.apply_and_delta(&upd(rel, Op::Insert, &vals)).is_empty());
+        }
+        let delta = o.apply_and_delta(&upd(0, Op::Insert, &[1]));
+        assert_eq!(delta.len(), 1);
+        let (op, row) = &delta[0];
+        assert_eq!(*op, Op::Insert);
+        assert_eq!(row[0], TupleData::ints(&[1]));
+        assert_eq!(row[1], TupleData::ints(&[1, 2]));
+        assert_eq!(row[2], TupleData::ints(&[2]));
+    }
+
+    #[test]
+    fn example_3_3_after_r3_insert() {
+        // Continue: inserting ⟨3⟩ into R3 makes a future ⟨1⟩ on ∆R1 produce
+        // two results (paper Example 3.3).
+        let mut o = Oracle::new(QuerySchema::chain3());
+        for (rel, vals) in [
+            (0u16, vec![0i64]),
+            (0, vec![2]),
+            (0, vec![1]),
+            (1, vec![1, 2]),
+            (1, vec![1, 3]),
+            (1, vec![3, 4]),
+            (2, vec![2]),
+            (2, vec![6]),
+        ] {
+            o.apply_and_delta(&upd(rel, Op::Insert, &vals));
+        }
+        let delta = o.apply_and_delta(&upd(2, Op::Insert, &[3]));
+        assert_eq!(delta.len(), 1, "⟨1,1,3,3⟩ appears");
+        let another_r1 = o.apply_and_delta(&upd(0, Op::Insert, &[1]));
+        assert_eq!(another_r1.len(), 2, "⟨1,1,2,2⟩ and ⟨1,1,3,3⟩");
+    }
+
+    #[test]
+    fn delete_yields_negative_delta() {
+        let mut o = Oracle::new(QuerySchema::chain3());
+        o.apply_and_delta(&upd(0, Op::Insert, &[1]));
+        o.apply_and_delta(&upd(1, Op::Insert, &[1, 2]));
+        o.apply_and_delta(&upd(2, Op::Insert, &[2]));
+        let d = o.apply_and_delta(&upd(1, Op::Delete, &[1, 2]));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].0, Op::Delete);
+        assert!(o.full_join().is_empty());
+    }
+
+    #[test]
+    fn delete_of_absent_is_empty_delta() {
+        let mut o = Oracle::new(QuerySchema::chain3());
+        assert!(o.apply_and_delta(&upd(0, Op::Delete, &[5])).is_empty());
+    }
+
+    #[test]
+    fn multiset_duplicates_counted() {
+        let mut o = Oracle::new(QuerySchema::chain3());
+        o.apply_and_delta(&upd(0, Op::Insert, &[1]));
+        o.apply_and_delta(&upd(1, Op::Insert, &[1, 2]));
+        o.apply_and_delta(&upd(1, Op::Insert, &[1, 2])); // duplicate S tuple
+        let d = o.apply_and_delta(&upd(2, Op::Insert, &[2]));
+        assert_eq!(d.len(), 2, "duplicate S yields two identical rows");
+        let ms = signed_multiset(&d);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(*ms.values().next().unwrap(), 2);
+    }
+
+    #[test]
+    fn diff_detects_mismatch_and_match() {
+        let row1: CanonicalRow = vec![TupleData::ints(&[1])];
+        let row2: CanonicalRow = vec![TupleData::ints(&[2])];
+        let a = vec![(Op::Insert, row1.clone()), (Op::Insert, row2.clone())];
+        let b = vec![(Op::Insert, row2), (Op::Insert, row1.clone())];
+        assert!(multiset_diff(&a, &b).is_empty(), "order-insensitive");
+        let c = vec![(Op::Insert, row1)];
+        assert!(!multiset_diff(&a, &c).is_empty());
+    }
+
+    #[test]
+    fn full_join_counts() {
+        let mut o = Oracle::new(QuerySchema::star(3));
+        // Two tuples per relation, all on key 1 → 8 results.
+        for r in 0..3u16 {
+            o.apply_and_delta(&upd(r, Op::Insert, &[1, 0]));
+            o.apply_and_delta(&upd(r, Op::Insert, &[1, 1]));
+        }
+        assert_eq!(o.full_join().len(), 8);
+    }
+}

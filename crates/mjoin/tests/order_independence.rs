@@ -1,0 +1,112 @@
+//! Property test: an MJoin's output delta stream is independent of its
+//! pipeline orders — any valid permutation of any pipeline yields the same
+//! multiset of deltas (§3.1's semantics fix *what* is computed; ordering
+//! only changes cost). This is the precondition for adaptive reordering
+//! being transparent.
+
+use acq_mjoin::mjoin::MJoin;
+use acq_mjoin::oracle::{canonical_rows, multiset_diff, Oracle};
+use acq_mjoin::plan::{PipelineOrder, PlanOrders};
+use acq_stream::{QuerySchema, RelId, TupleData, Update};
+use proptest::prelude::*;
+
+/// A permutation of 0..n−1 encoded by repeated selection.
+fn permutation(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..1000, n).prop_map(move |keys| {
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by_key(|&i| keys[i]);
+        idx
+    })
+}
+
+fn orders_strategy(n: u16) -> impl Strategy<Value = PlanOrders> {
+    proptest::collection::vec(permutation(n as usize - 1), n as usize).prop_map(move |perms| {
+        PlanOrders::new(
+            (0..n)
+                .map(|stream| {
+                    let others: Vec<RelId> = (0..n).filter(|&r| r != stream).map(RelId).collect();
+                    PipelineOrder {
+                        stream: RelId(stream),
+                        order: perms[stream as usize].iter().map(|&i| others[i]).collect(),
+                    }
+                })
+                .collect(),
+        )
+    })
+}
+
+fn workload(query: &QuerySchema, seed: u64, len: usize) -> Vec<Update> {
+    let mut state = seed.max(1);
+    let mut rng = move |m: u64| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state % m
+    };
+    let n = query.num_relations() as u64;
+    let mut live: Vec<Vec<TupleData>> = vec![Vec::new(); n as usize];
+    let mut out = Vec::new();
+    for ts in 0..len as u64 {
+        let rel = rng(n) as usize;
+        let arity = query.relation(RelId(rel as u16)).arity();
+        if !live[rel].is_empty() && rng(4) == 0 {
+            let data = live[rel].remove(0);
+            out.push(Update::delete(RelId(rel as u16), data, ts));
+        } else {
+            let vals: Vec<i64> = (0..arity).map(|_| rng(4) as i64).collect();
+            let data = TupleData::ints(&vals);
+            live[rel].push(data.clone());
+            out.push(Update::insert(RelId(rel as u16), data, ts));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn any_pipeline_orders_give_oracle_deltas(
+        orders in orders_strategy(4),
+        seed in 1u64..10_000,
+    ) {
+        let q = QuerySchema::star(4);
+        orders.validate(&q).unwrap();
+        let updates = workload(&q, seed, 80);
+        let mut m = MJoin::new(q.clone(), orders);
+        let mut oracle = Oracle::new(q);
+        for u in &updates {
+            let got: Vec<_> = m
+                .process(u)
+                .into_iter()
+                .map(|(op, c)| (op, canonical_rows(&c, 4)))
+                .collect();
+            let want = oracle.apply_and_delta(u);
+            prop_assert!(multiset_diff(&got, &want).is_empty(), "diverged on {}", u);
+        }
+    }
+
+    #[test]
+    fn mid_stream_reordering_is_transparent(
+        before in orders_strategy(3),
+        after in orders_strategy(3),
+        seed in 1u64..10_000,
+    ) {
+        let q = QuerySchema::chain3();
+        let updates = workload(&q, seed, 120);
+        let mut m = MJoin::new(q.clone(), before);
+        let mut oracle = Oracle::new(q);
+        for (i, u) in updates.iter().enumerate() {
+            if i == updates.len() / 2 {
+                m.set_orders(after.clone());
+            }
+            let got: Vec<_> = m
+                .process(u)
+                .into_iter()
+                .map(|(op, c)| (op, canonical_rows(&c, 3)))
+                .collect();
+            let want = oracle.apply_and_delta(u);
+            prop_assert!(multiset_diff(&got, &want).is_empty(), "diverged at step {i}");
+        }
+    }
+}

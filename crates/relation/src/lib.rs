@@ -1,0 +1,14 @@
+//! # acq-relation — windowed relation store
+//!
+//! The per-relation state an MJoin keeps: the current window contents of each
+//! `R_i`, with hash indexes on join attributes (§7.1: *"All joins use hash
+//! indexes by default"*) and multiset delete support (windows emit deletes by
+//! value; the store removes exactly one matching instance).
+//!
+//! Tuples are stored once and handed out as reference-counted [`TupleRef`](acq_stream::TupleRef)s;
+//! composite pipeline tuples, cache entries, and XJoin materializations all
+//! share them (§3.3: tuples are never copied into caches).
+
+pub mod store;
+
+pub use store::{HashIndex, Relation};

@@ -1,0 +1,358 @@
+//! Relation store with hash indexes.
+
+use acq_sketch::FxHashMap;
+use acq_stream::{ColId, RelId, StoredTuple, TupleData, TupleId, TupleRef, Value};
+use std::sync::Arc;
+
+/// A hash index on one column: `value → tuple ids`.
+///
+/// Index postings are `Vec<TupleId>`; deletions swap-remove, so postings are
+/// unordered — fine, because equijoin semantics are set/multiset based.
+#[derive(Debug, Default)]
+pub struct HashIndex {
+    map: FxHashMap<Value, Vec<TupleId>>,
+    entries: usize,
+}
+
+impl HashIndex {
+    fn insert(&mut self, v: Value, id: TupleId) {
+        self.map.entry(v).or_default().push(id);
+        self.entries += 1;
+    }
+
+    fn remove(&mut self, v: &Value, id: TupleId) {
+        if let Some(list) = self.map.get_mut(v) {
+            if let Some(pos) = list.iter().position(|&x| x == id) {
+                list.swap_remove(pos);
+                self.entries -= 1;
+                if list.is_empty() {
+                    self.map.remove(v);
+                }
+            }
+        }
+    }
+
+    /// Tuple ids whose indexed column equals `v` (empty slice if none).
+    pub fn probe(&self, v: &Value) -> &[TupleId] {
+        self.map.get(v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct key values currently indexed.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total posting entries.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True if the index holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+}
+
+/// The window contents of one relation, with optional hash indexes.
+#[derive(Debug)]
+pub struct Relation {
+    rel: RelId,
+    arity: usize,
+    tuples: FxHashMap<TupleId, TupleRef>,
+    /// Value → ids with exactly that data (multiset delete support).
+    by_data: FxHashMap<TupleData, Vec<TupleId>>,
+    /// `indexes[col]` is `Some` when a hash index exists on that column.
+    indexes: Vec<Option<HashIndex>>,
+    next_id: TupleId,
+    /// Running byte count of stored tuple data (for §5-style accounting and
+    /// experiment reporting).
+    data_bytes: usize,
+}
+
+impl Relation {
+    /// An empty relation with `arity` columns and *no* indexes.
+    pub fn new(rel: RelId, arity: usize) -> Relation {
+        Relation {
+            rel,
+            arity,
+            tuples: FxHashMap::default(),
+            by_data: FxHashMap::default(),
+            indexes: (0..arity).map(|_| None).collect(),
+            next_id: 0,
+            data_bytes: 0,
+        }
+    }
+
+    /// Relation id.
+    pub fn rel(&self) -> RelId {
+        self.rel
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples currently stored (window size).
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Build (or rebuild) a hash index on `col`, indexing existing tuples.
+    pub fn add_index(&mut self, col: ColId) {
+        let mut idx = HashIndex::default();
+        for (id, t) in &self.tuples {
+            idx.insert(t.data.get(col.0).clone(), *id);
+        }
+        self.indexes[col.0 as usize] = Some(idx);
+    }
+
+    /// Drop the index on `col` (Figure 10 drops the S.B index to force
+    /// nested-loop joins).
+    pub fn drop_index(&mut self, col: ColId) {
+        self.indexes[col.0 as usize] = None;
+    }
+
+    /// True if a hash index exists on `col`.
+    pub fn has_index(&self, col: ColId) -> bool {
+        self.indexes[col.0 as usize].is_some()
+    }
+
+    /// The index on `col`, if any.
+    pub fn index(&self, col: ColId) -> Option<&HashIndex> {
+        self.indexes[col.0 as usize].as_ref()
+    }
+
+    /// Insert a tuple; returns the minted reference.
+    ///
+    /// # Panics
+    /// Panics if the tuple arity doesn't match the relation's.
+    pub fn insert(&mut self, data: TupleData) -> TupleRef {
+        assert_eq!(data.arity(), self.arity, "arity mismatch on insert");
+        let id = self.next_id;
+        self.next_id += 1;
+        self.data_bytes += data.memory_bytes();
+        let t: TupleRef = Arc::new(StoredTuple {
+            rel: self.rel,
+            id,
+            data: data.clone(),
+        });
+        for (c, slot) in self.indexes.iter_mut().enumerate() {
+            if let Some(idx) = slot {
+                idx.insert(t.data.get(c as u16).clone(), id);
+            }
+        }
+        self.by_data.entry(data).or_default().push(id);
+        self.tuples.insert(id, t.clone());
+        t
+    }
+
+    /// Delete one tuple whose data equals `data` (multiset semantics: exactly
+    /// one instance is removed — the most recently inserted one). Returns the
+    /// removed reference, or `None` if no instance matches.
+    pub fn delete(&mut self, data: &TupleData) -> Option<TupleRef> {
+        let ids = self.by_data.get_mut(data)?;
+        let id = ids.pop().expect("by_data lists are never empty");
+        if ids.is_empty() {
+            self.by_data.remove(data);
+        }
+        let t = self.tuples.remove(&id).expect("by_data/tuples in sync");
+        self.data_bytes -= t.data.memory_bytes();
+        for (c, slot) in self.indexes.iter_mut().enumerate() {
+            if let Some(idx) = slot {
+                idx.remove(t.data.get(c as u16), id);
+            }
+        }
+        Some(t)
+    }
+
+    /// Look up a stored tuple by id.
+    pub fn get(&self, id: TupleId) -> Option<&TupleRef> {
+        self.tuples.get(&id)
+    }
+
+    /// Tuples whose column `col` equals `v`, via the hash index.
+    ///
+    /// # Panics
+    /// Panics if no index exists on `col` — callers must check
+    /// [`Relation::has_index`] and fall back to [`Relation::scan`] (that
+    /// distinction is exactly the indexed-vs-nested-loop cost difference the
+    /// paper's Figure 10 explores).
+    pub fn probe<'s>(&'s self, col: ColId, v: &Value) -> impl Iterator<Item = &'s TupleRef> + 's {
+        let idx = self.indexes[col.0 as usize]
+            .as_ref()
+            .expect("probe on unindexed column");
+        idx.probe(v)
+            .iter()
+            .map(move |id| self.tuples.get(id).expect("index/tuples in sync"))
+    }
+
+    /// Number of matches a probe would return, without materializing them.
+    pub fn probe_count(&self, col: ColId, v: &Value) -> usize {
+        self.indexes[col.0 as usize]
+            .as_ref()
+            .map(|idx| idx.probe(v).len())
+            .unwrap_or(0)
+    }
+
+    /// Full scan over the window contents (nested-loop joins, consistency
+    /// oracles).
+    pub fn scan(&self) -> impl Iterator<Item = &TupleRef> {
+        self.tuples.values()
+    }
+
+    /// Bytes of stored tuple data (excludes index overhead).
+    pub fn data_bytes(&self) -> usize {
+        self.data_bytes
+    }
+
+    /// Remove everything (window reset).
+    pub fn clear(&mut self) {
+        self.tuples.clear();
+        self.by_data.clear();
+        self.data_bytes = 0;
+        for idx in self.indexes.iter_mut().flatten() {
+            *idx = HashIndex::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel_with_index() -> Relation {
+        let mut r = Relation::new(RelId(0), 2);
+        r.add_index(ColId(0));
+        r
+    }
+
+    #[test]
+    fn insert_and_probe() {
+        let mut r = rel_with_index();
+        r.insert(TupleData::ints(&[1, 10]));
+        r.insert(TupleData::ints(&[1, 20]));
+        r.insert(TupleData::ints(&[2, 30]));
+        assert_eq!(r.len(), 3);
+        let hits: Vec<i64> = r
+            .probe(ColId(0), &Value::Int(1))
+            .map(|t| t.data.get(1).as_int().unwrap())
+            .collect();
+        assert_eq!(hits.len(), 2);
+        assert!(hits.contains(&10) && hits.contains(&20));
+        assert_eq!(r.probe_count(ColId(0), &Value::Int(2)), 1);
+        assert_eq!(r.probe_count(ColId(0), &Value::Int(99)), 0);
+    }
+
+    #[test]
+    fn multiset_delete_removes_one_instance() {
+        let mut r = rel_with_index();
+        r.insert(TupleData::ints(&[5, 1]));
+        r.insert(TupleData::ints(&[5, 1]));
+        assert_eq!(r.len(), 2);
+        let removed = r.delete(&TupleData::ints(&[5, 1])).unwrap();
+        assert_eq!(removed.data, TupleData::ints(&[5, 1]));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.probe_count(ColId(0), &Value::Int(5)), 1);
+        assert!(r.delete(&TupleData::ints(&[5, 1])).is_some());
+        assert!(r.delete(&TupleData::ints(&[5, 1])).is_none(), "exhausted");
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn delete_keeps_indexes_consistent() {
+        let mut r = rel_with_index();
+        r.insert(TupleData::ints(&[7, 1]));
+        let t2 = r.insert(TupleData::ints(&[7, 2]));
+        r.delete(&TupleData::ints(&[7, 1]));
+        let hits: Vec<TupleId> = r.probe(ColId(0), &Value::Int(7)).map(|t| t.id).collect();
+        assert_eq!(hits, vec![t2.id]);
+    }
+
+    #[test]
+    fn late_index_build_covers_existing_tuples() {
+        let mut r = Relation::new(RelId(0), 2);
+        r.insert(TupleData::ints(&[3, 1]));
+        r.insert(TupleData::ints(&[3, 2]));
+        assert!(!r.has_index(ColId(1)));
+        r.add_index(ColId(1));
+        assert!(r.has_index(ColId(1)));
+        assert_eq!(r.probe_count(ColId(1), &Value::Int(2)), 1);
+        r.drop_index(ColId(1));
+        assert!(!r.has_index(ColId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "probe on unindexed column")]
+    fn probe_without_index_panics() {
+        let r = Relation::new(RelId(0), 1);
+        let _ = r.probe(ColId(0), &Value::Int(1)).count();
+    }
+
+    #[test]
+    fn tuple_ids_never_reused() {
+        let mut r = rel_with_index();
+        let a = r.insert(TupleData::ints(&[1, 1]));
+        r.delete(&TupleData::ints(&[1, 1]));
+        let b = r.insert(TupleData::ints(&[1, 1]));
+        assert_ne!(a.id, b.id);
+    }
+
+    #[test]
+    fn scan_sees_everything() {
+        let mut r = Relation::new(RelId(2), 1);
+        for i in 0..10 {
+            r.insert(TupleData::ints(&[i]));
+        }
+        let mut vals: Vec<i64> = r.scan().map(|t| t.data.get(0).as_int().unwrap()).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn memory_accounting_tracks_inserts_and_deletes() {
+        let mut r = Relation::new(RelId(0), 1);
+        assert_eq!(r.data_bytes(), 0);
+        r.insert(TupleData::ints(&[1]));
+        let one = r.data_bytes();
+        assert!(one > 0);
+        r.insert(TupleData::ints(&[2]));
+        assert_eq!(r.data_bytes(), 2 * one);
+        r.delete(&TupleData::ints(&[1]));
+        assert_eq!(r.data_bytes(), one);
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_index_definitions() {
+        let mut r = rel_with_index();
+        r.insert(TupleData::ints(&[1, 1]));
+        r.clear();
+        assert!(r.is_empty());
+        assert!(r.has_index(ColId(0)));
+        assert_eq!(r.probe_count(ColId(0), &Value::Int(1)), 0);
+        r.insert(TupleData::ints(&[1, 1]));
+        assert_eq!(r.probe_count(ColId(0), &Value::Int(1)), 1);
+    }
+
+    #[test]
+    fn index_distinct_keys() {
+        let mut r = rel_with_index();
+        for i in 0..10 {
+            r.insert(TupleData::ints(&[i % 3, i]));
+        }
+        assert_eq!(r.index(ColId(0)).unwrap().distinct_keys(), 3);
+        assert_eq!(r.index(ColId(0)).unwrap().len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut r = Relation::new(RelId(0), 2);
+        r.insert(TupleData::ints(&[1]));
+    }
+}

@@ -1,0 +1,186 @@
+//! Inline implementation of the FxHash algorithm.
+//!
+//! FxHash is the fast multiply-rotate hash used inside rustc (public-domain
+//! algorithm, originally from Firefox). Join processing and cache probing
+//! hash short keys (a handful of 64-bit values) millions of times per second;
+//! the standard library's SipHash 1-3 would dominate the profile. Implementing
+//! the ~30-line algorithm here keeps the workspace within the approved
+//! dependency set (see DESIGN.md).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit seed constant: `(sqrt(5) - 1) / 2 * 2^64`, the golden-ratio
+/// multiplier used by Fibonacci hashing.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// Streaming FxHash hasher implementing [`std::hash::Hasher`].
+///
+/// Word-at-a-time multiply-rotate-xor. Not HashDoS-resistant; all hash-table
+/// keys in this workspace come from internally generated tuple values, never
+/// from an adversarial network peer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s; plug into `HashMap::with_hasher`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with FxHash. Drop-in replacement for `std::collections::HashMap`.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with FxHash. Drop-in replacement for `std::collections::HashSet`.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hash a single `u64`. Used for Bloom-filter index derivation and
+/// direct-mapped cache bucket selection, where *all 64 output bits* must be
+/// well mixed (bucket indexes are taken modulo small powers of two), so this
+/// uses the splitmix64 finalizer rather than the one-round Fx mix.
+#[inline]
+pub fn fx_hash_u64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hash an arbitrary byte slice with the streaming hasher.
+#[inline]
+pub fn fx_hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_one<T: Hash>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_one(&42u64), hash_one(&42u64));
+        assert_eq!(fx_hash_bytes(b"hello"), fx_hash_bytes(b"hello"));
+        assert_eq!(fx_hash_u64(7), fx_hash_u64(7));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_one(&1u64), hash_one(&2u64));
+        assert_ne!(fx_hash_bytes(b"a"), fx_hash_bytes(b"b"));
+        assert_ne!(fx_hash_u64(0), fx_hash_u64(1));
+    }
+
+    #[test]
+    fn byte_streaming_matches_chunking() {
+        // Hashing the same logical bytes in one call must equal hashing them
+        // via write() once (we only guarantee same-call-pattern stability, but
+        // a single write of the full slice is the pattern used everywhere).
+        let a = fx_hash_bytes(b"abcdefgh12345678xyz");
+        let b = fx_hash_bytes(b"abcdefgh12345678xyz");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reasonable_distribution_low_bits() {
+        // Bucket 1M sequential integers into 1024 buckets; no bucket should be
+        // empty and no bucket should hold more than 4x the mean. Sequential
+        // integers are the pathological case for weak hashes.
+        let buckets = 1024usize;
+        let mut counts = vec![0u32; buckets];
+        for i in 0..1_000_000u64 {
+            counts[(fx_hash_u64(i) % buckets as u64) as usize] += 1;
+        }
+        let mean = 1_000_000 / buckets as u32;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 0, "bucket {i} empty");
+            assert!(c < mean * 4, "bucket {i} overloaded: {c} (mean {mean})");
+        }
+    }
+
+    #[test]
+    fn fxhashmap_works() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..100 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m[&21], 42);
+        let mut s: FxHashSet<&str> = FxHashSet::default();
+        s.insert("x");
+        assert!(s.contains("x"));
+    }
+
+    #[test]
+    fn partial_tail_bytes_hash_differently() {
+        assert_ne!(fx_hash_bytes(b"12345678a"), fx_hash_bytes(b"12345678b"));
+        assert_ne!(fx_hash_bytes(b"1"), fx_hash_bytes(b"12"));
+    }
+}

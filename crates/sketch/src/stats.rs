@@ -1,0 +1,345 @@
+//! Sliding-window statistics.
+//!
+//! Table 1 of the paper: *"Our online estimate for any statistic is the
+//! average of its `W` most recent measurements"* (default `W = 10`, §7.1).
+//! [`WindowStat`] implements exactly that — a ring buffer of the last `W`
+//! observations with O(1) push and O(1) sum/average. [`RateEstimator`] tracks
+//! tuples-per-unit-time over a sliding time horizon, used for `rate(R_i)` in
+//! the `d_ij` estimate (Appendix A). [`Ewma`] is provided as an alternative
+//! smoother for ablation experiments.
+
+/// Ring buffer of the `W` most recent `f64` observations.
+#[derive(Debug, Clone)]
+pub struct WindowStat {
+    buf: Vec<f64>,
+    capacity: usize,
+    next: usize,
+    len: usize,
+    sum: f64,
+    total_observations: u64,
+}
+
+impl WindowStat {
+    /// Create a window keeping the last `w` observations.
+    ///
+    /// # Panics
+    /// Panics if `w == 0`.
+    pub fn new(w: usize) -> Self {
+        assert!(w > 0, "window size W must be positive");
+        WindowStat {
+            buf: vec![0.0; w],
+            capacity: w,
+            next: 0,
+            len: 0,
+            sum: 0.0,
+            total_observations: 0,
+        }
+    }
+
+    /// Record one observation, evicting the oldest if the window is full.
+    pub fn push(&mut self, x: f64) {
+        if self.len == self.capacity {
+            self.sum -= self.buf[self.next];
+        } else {
+            self.len += 1;
+        }
+        self.buf[self.next] = x;
+        self.sum += x;
+        self.next = (self.next + 1) % self.capacity;
+        self.total_observations += 1;
+    }
+
+    /// Average of the observations currently in the window; `None` if empty.
+    pub fn average(&self) -> Option<f64> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(self.sum / self.len as f64)
+        }
+    }
+
+    /// Average, defaulting to `default` when no observations exist yet.
+    pub fn average_or(&self, default: f64) -> f64 {
+        self.average().unwrap_or(default)
+    }
+
+    /// Sum of the observations in the window (`sum(δ_j)` in Appendix A).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Number of observations currently held (≤ W).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True once at least `W` observations have been recorded — §4.5 step 2
+    /// waits for this before trusting a profiled cache's statistics.
+    pub fn is_warm(&self) -> bool {
+        self.len == self.capacity
+    }
+
+    /// Window capacity `W`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime count of observations (not just those in the window).
+    pub fn total_observations(&self) -> u64 {
+        self.total_observations
+    }
+
+    /// Forget all observations (used when a pipeline is re-ordered and its
+    /// statistics are invalidated, §4.5 step 5).
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.next = 0;
+        self.sum = 0.0;
+        self.total_observations = 0;
+    }
+
+    /// Iterate over the observations currently in the window, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        let start = (self.next + self.capacity - self.len) % self.capacity;
+        (0..self.len).map(move |i| self.buf[(start + i) % self.capacity])
+    }
+}
+
+/// Tuples-per-unit-time estimator over a sliding horizon of virtual time.
+///
+/// Maintains `(timestamp, count)` buckets; `rate()` is total count in the
+/// horizon divided by the horizon span. Timestamps are caller-supplied
+/// (virtual nanoseconds from the cost clock), keeping everything
+/// deterministic.
+#[derive(Debug, Clone)]
+pub struct RateEstimator {
+    horizon_ns: u64,
+    events: std::collections::VecDeque<(u64, u64)>,
+    total_in_horizon: u64,
+}
+
+impl RateEstimator {
+    /// `horizon_ns`: how far back (in virtual ns) events are counted.
+    pub fn new(horizon_ns: u64) -> Self {
+        RateEstimator {
+            horizon_ns: horizon_ns.max(1),
+            events: std::collections::VecDeque::new(),
+            total_in_horizon: 0,
+        }
+    }
+
+    /// Record `count` events at virtual time `now_ns`.
+    pub fn record(&mut self, now_ns: u64, count: u64) {
+        self.events.push_back((now_ns, count));
+        self.total_in_horizon += count;
+        self.evict(now_ns);
+    }
+
+    fn evict(&mut self, now_ns: u64) {
+        let cutoff = now_ns.saturating_sub(self.horizon_ns);
+        while let Some(&(t, c)) = self.events.front() {
+            if t < cutoff {
+                self.events.pop_front();
+                self.total_in_horizon -= c;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Events per second at virtual time `now_ns`.
+    pub fn rate_per_sec(&mut self, now_ns: u64) -> f64 {
+        self.evict(now_ns);
+        if self.events.is_empty() {
+            return 0.0;
+        }
+        let oldest = self.events.front().unwrap().0;
+        let span = (now_ns.saturating_sub(oldest)).max(1).min(self.horizon_ns);
+        self.total_in_horizon as f64 * 1e9 / span as f64
+    }
+
+    /// Total events currently inside the horizon.
+    pub fn count_in_horizon(&self) -> u64 {
+        self.total_in_horizon
+    }
+
+    /// Reset all recorded events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.total_in_horizon = 0;
+    }
+}
+
+/// Exponentially weighted moving average, `v ← (1-α)·v + α·x`.
+///
+/// Not used by the paper's algorithms (which specify W-window averages) but
+/// provided for the smoothing-ablation benches.
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// `alpha ∈ (0, 1]`: weight of the newest observation.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        Ewma { alpha, value: None }
+    }
+
+    /// Fold in one observation.
+    pub fn push(&mut self, x: f64) {
+        self.value = Some(match self.value {
+            None => x,
+            Some(v) => v + self.alpha * (x - v),
+        });
+    }
+
+    /// Current smoothed value.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Current value or `default` when nothing has been observed.
+    pub fn value_or(&self, default: f64) -> f64 {
+        self.value.unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_average_basic() {
+        let mut w = WindowStat::new(3);
+        assert!(w.average().is_none());
+        assert!(w.is_empty());
+        w.push(1.0);
+        w.push(2.0);
+        assert_eq!(w.average(), Some(1.5));
+        assert!(!w.is_warm());
+        w.push(3.0);
+        assert!(w.is_warm());
+        assert_eq!(w.average(), Some(2.0));
+    }
+
+    #[test]
+    fn window_evicts_oldest() {
+        let mut w = WindowStat::new(3);
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            w.push(x);
+        }
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.average(), Some(4.0)); // 3,4,5
+        assert_eq!(w.sum(), 12.0);
+        assert_eq!(w.total_observations(), 5);
+        let obs: Vec<f64> = w.iter().collect();
+        assert_eq!(obs, vec![3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn window_clear() {
+        let mut w = WindowStat::new(2);
+        w.push(10.0);
+        w.clear();
+        assert!(w.average().is_none());
+        assert_eq!(w.average_or(7.0), 7.0);
+        w.push(4.0);
+        assert_eq!(w.average(), Some(4.0));
+    }
+
+    #[test]
+    fn window_of_one() {
+        let mut w = WindowStat::new(1);
+        w.push(1.0);
+        w.push(9.0);
+        assert_eq!(w.average(), Some(9.0));
+        assert!(w.is_warm());
+    }
+
+    #[test]
+    #[should_panic(expected = "window size W must be positive")]
+    fn window_zero_panics() {
+        let _ = WindowStat::new(0);
+    }
+
+    #[test]
+    fn window_sum_stays_accurate_after_many_evictions() {
+        // Numerical drift check: running sum must track a fresh recomputation.
+        let mut w = WindowStat::new(10);
+        for i in 0..100_000u64 {
+            w.push((i % 977) as f64 * 0.1);
+        }
+        let expect: f64 = w.iter().sum();
+        assert!((w.sum() - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rate_estimator_steady_stream() {
+        let mut r = RateEstimator::new(1_000_000_000); // 1 s horizon
+                                                       // One event every millisecond for 2 virtual seconds.
+        for i in 0..2000u64 {
+            r.record(i * 1_000_000, 1);
+        }
+        let rate = r.rate_per_sec(2_000_000_000);
+        assert!(
+            (rate - 1000.0).abs() / 1000.0 < 0.02,
+            "expected ~1000/s, got {rate}"
+        );
+    }
+
+    #[test]
+    fn rate_estimator_forgets_old_events() {
+        let mut r = RateEstimator::new(1_000_000_000);
+        for i in 0..1000u64 {
+            r.record(i * 1_000_000, 1);
+        }
+        // Fast-forward 10 virtual seconds with no events.
+        let rate = r.rate_per_sec(11_000_000_000);
+        assert_eq!(rate, 0.0);
+        assert_eq!(r.count_in_horizon(), 0);
+    }
+
+    #[test]
+    fn rate_estimator_burst_detection() {
+        let mut r = RateEstimator::new(100_000_000); // 0.1 s horizon
+        for i in 0..100u64 {
+            r.record(i * 1_000_000, 1); // 1000/s baseline
+        }
+        let base = r.rate_per_sec(100_000_000);
+        for i in 0..100u64 {
+            r.record(100_000_000 + i * 50_000, 1); // 20,000/s burst
+        }
+        // The horizon at t=105ms still contains 95 baseline events plus the
+        // 100 burst events over ~100ms, so the rate roughly doubles.
+        let burst = r.rate_per_sec(105_000_000);
+        assert!(burst > base * 1.5, "burst {burst} vs base {base}");
+    }
+
+    #[test]
+    fn ewma_converges() {
+        let mut e = Ewma::new(0.5);
+        assert!(e.value().is_none());
+        e.push(10.0);
+        assert_eq!(e.value(), Some(10.0));
+        for _ in 0..50 {
+            e.push(2.0);
+        }
+        assert!((e.value().unwrap() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0,1]")]
+    fn ewma_bad_alpha_panics() {
+        let _ = Ewma::new(0.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Global-order merging of per-stream update sequences.
+//!
+//! §3.1: updates across all of `∆R_1, …, ∆R_n` *"have a global ordering on
+//! input, e.g., based on arrival time. (The system could break ties if
+//! needed.)"* [`merge_by_timestamp`] performs a stable k-way merge by
+//! timestamp, breaking ties by stream index (lower relation id first) and then
+//! by within-stream position, so the global order is deterministic.
+
+use crate::update::Update;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct HeapEntry {
+    ts: u64,
+    stream: usize,
+    pos: usize,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for min-by-(ts, stream, pos).
+        (other.ts, other.stream, other.pos).cmp(&(self.ts, self.stream, self.pos))
+    }
+}
+
+/// Merge per-stream update sequences (each already sorted by timestamp) into
+/// one globally ordered sequence.
+///
+/// # Panics
+/// Panics (in debug builds) if an input sequence is not sorted by `ts`.
+pub fn merge_by_timestamp(streams: Vec<Vec<Update>>) -> Vec<Update> {
+    #[cfg(debug_assertions)]
+    for s in &streams {
+        debug_assert!(
+            s.windows(2).all(|w| w[0].ts <= w[1].ts),
+            "input stream not sorted by timestamp"
+        );
+    }
+    let total: usize = streams.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut heap = BinaryHeap::with_capacity(streams.len());
+    for (i, s) in streams.iter().enumerate() {
+        if let Some(u) = s.first() {
+            heap.push(HeapEntry {
+                ts: u.ts,
+                stream: i,
+                pos: 0,
+            });
+        }
+    }
+    while let Some(HeapEntry { stream, pos, .. }) = heap.pop() {
+        out.push(streams[stream][pos].clone());
+        let next = pos + 1;
+        if next < streams[stream].len() {
+            heap.push(HeapEntry {
+                ts: streams[stream][next].ts,
+                stream,
+                pos: next,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelId;
+    use crate::tuple::TupleData;
+
+    fn u(rel: u16, v: i64, ts: u64) -> Update {
+        Update::insert(RelId(rel), TupleData::ints(&[v]), ts)
+    }
+
+    #[test]
+    fn merges_in_timestamp_order() {
+        let merged = merge_by_timestamp(vec![
+            vec![u(0, 1, 0), u(0, 2, 10), u(0, 3, 20)],
+            vec![u(1, 4, 5), u(1, 5, 15)],
+        ]);
+        let ts: Vec<u64> = merged.iter().map(|x| x.ts).collect();
+        assert_eq!(ts, vec![0, 5, 10, 15, 20]);
+    }
+
+    #[test]
+    fn ties_broken_by_stream_index() {
+        let merged = merge_by_timestamp(vec![vec![u(0, 1, 7)], vec![u(1, 2, 7)], vec![u(2, 3, 7)]]);
+        let rels: Vec<u16> = merged.iter().map(|x| x.rel.0).collect();
+        assert_eq!(rels, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn within_stream_order_preserved_on_equal_ts() {
+        let merged = merge_by_timestamp(vec![vec![u(0, 1, 3), u(0, 2, 3), u(0, 3, 3)]]);
+        let vals: Vec<i64> = merged
+            .iter()
+            .map(|x| x.data.get(0).as_int().unwrap())
+            .collect();
+        assert_eq!(vals, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(merge_by_timestamp(vec![]).is_empty());
+        assert!(merge_by_timestamp(vec![vec![], vec![]]).is_empty());
+        let one = merge_by_timestamp(vec![vec![], vec![u(1, 9, 1)]]);
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn large_merge_is_sorted() {
+        let streams: Vec<Vec<Update>> = (0..8u16)
+            .map(|r| {
+                (0..500u64)
+                    .map(|i| u(r, i as i64, i * 7 + r as u64))
+                    .collect()
+            })
+            .collect();
+        let merged = merge_by_timestamp(streams);
+        assert_eq!(merged.len(), 4000);
+        assert!(merged.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+}

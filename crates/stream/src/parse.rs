@@ -1,0 +1,348 @@
+//! A tiny textual query language for stream joins.
+//!
+//! Building a [`QuerySchema`] by hand means spelling out relation schemas and
+//! `AttrRef` pairs; this module accepts the obvious SQL-ish one-liner
+//! instead:
+//!
+//! ```text
+//! R(A) JOIN S(A, B) ON R.A = S.A JOIN T(B) ON S.B = T.B
+//! ```
+//!
+//! Grammar (case-insensitive keywords, `⋈` accepted for `JOIN`):
+//!
+//! ```text
+//! query     := relation (join)*
+//! join      := ("JOIN" | "⋈") relation "ON" predicate ("AND" predicate)*
+//! relation  := ident "(" ident ("," ident)* ")"
+//! predicate := ident "." ident "=" ident "." ident
+//! ```
+//!
+//! Predicates may reference any relation declared so far. Errors carry the
+//! offending token and a human-readable reason.
+
+use crate::schema::{AttrRef, JoinPredicate, QuerySchema, RelationSchema};
+
+/// Parse error with position context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input where the problem was detected.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Eq,
+    Join,
+    On,
+    And,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer { src, pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn next_tok(&mut self) -> Result<Option<(usize, Tok)>, ParseError> {
+        let bytes = self.src.as_bytes();
+        while self.pos < bytes.len() && self.src[self.pos..].starts_with(char::is_whitespace) {
+            self.pos += self.src[self.pos..].chars().next().unwrap().len_utf8();
+        }
+        if self.pos >= bytes.len() {
+            return Ok(None);
+        }
+        let start = self.pos;
+        let rest = &self.src[self.pos..];
+        let c = rest.chars().next().unwrap();
+        let tok = match c {
+            '(' => {
+                self.pos += 1;
+                Tok::LParen
+            }
+            ')' => {
+                self.pos += 1;
+                Tok::RParen
+            }
+            ',' => {
+                self.pos += 1;
+                Tok::Comma
+            }
+            '.' => {
+                self.pos += 1;
+                Tok::Dot
+            }
+            '=' => {
+                self.pos += 1;
+                Tok::Eq
+            }
+            '⋈' => {
+                self.pos += c.len_utf8();
+                Tok::Join
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let end = rest
+                    .char_indices()
+                    .find(|(_, ch)| !(ch.is_alphanumeric() || *ch == '_'))
+                    .map(|(i, _)| i)
+                    .unwrap_or(rest.len());
+                let word = &rest[..end];
+                self.pos += end;
+                match word.to_ascii_uppercase().as_str() {
+                    "JOIN" => Tok::Join,
+                    "ON" => Tok::On,
+                    "AND" => Tok::And,
+                    _ => Tok::Ident(word.to_string()),
+                }
+            }
+            other => return Err(self.error(format!("unexpected character {other:?}"))),
+        };
+        Ok(Some((start, tok)))
+    }
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    idx: usize,
+    src_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.idx).map(|(_, t)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks
+            .get(self.idx)
+            .map(|(o, _)| *o)
+            .unwrap_or(self.src_len)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            offset: self.offset(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.idx).map(|(_, t)| t.clone());
+        self.idx += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.idx += 1;
+                Ok(())
+            }
+            other => Err(self.error(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Ident(s)) => {
+                self.idx += 1;
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn relation(&mut self) -> Result<RelationSchema, ParseError> {
+        let name = self.ident("relation name")?;
+        self.expect(&Tok::LParen, "'('")?;
+        let mut cols = vec![self.ident("column name")?];
+        while self.peek() == Some(&Tok::Comma) {
+            self.bump();
+            cols.push(self.ident("column name")?);
+        }
+        self.expect(&Tok::RParen, "')'")?;
+        let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+        Ok(RelationSchema::new(&name, &col_refs))
+    }
+
+    /// `rel.col` resolved against declared relations.
+    fn attr(&mut self, rels: &[RelationSchema]) -> Result<AttrRef, ParseError> {
+        let at = self.offset();
+        let rel_name = self.ident("relation name")?;
+        self.expect(&Tok::Dot, "'.'")?;
+        let col_name = self.ident("column name")?;
+        let rel_idx = rels
+            .iter()
+            .position(|r| r.name == rel_name)
+            .ok_or(ParseError {
+                message: format!("unknown relation {rel_name:?}"),
+                offset: at,
+            })?;
+        let col = rels[rel_idx].col(&col_name).ok_or(ParseError {
+            message: format!("relation {rel_name:?} has no column {col_name:?}"),
+            offset: at,
+        })?;
+        Ok(AttrRef {
+            rel: crate::schema::RelId(rel_idx as u16),
+            col,
+        })
+    }
+}
+
+/// Parse a stream-join query. See the module docs for the grammar.
+pub fn parse_query(src: &str) -> Result<QuerySchema, ParseError> {
+    let mut lexer = Lexer::new(src);
+    let mut toks = Vec::new();
+    while let Some(t) = lexer.next_tok()? {
+        toks.push(t);
+    }
+    let mut p = Parser {
+        toks,
+        idx: 0,
+        src_len: src.len(),
+    };
+
+    let mut rels = vec![p.relation()?];
+    let mut preds: Vec<JoinPredicate> = Vec::new();
+    while p.peek().is_some() {
+        p.expect(&Tok::Join, "JOIN")?;
+        let rel = p.relation()?;
+        if rels.iter().any(|r| r.name == rel.name) {
+            return Err(p.error(format!("duplicate relation name {:?}", rel.name)));
+        }
+        rels.push(rel);
+        p.expect(&Tok::On, "ON")?;
+        loop {
+            let at = p.offset();
+            let left = p.attr(&rels)?;
+            p.expect(&Tok::Eq, "'='")?;
+            let right = p.attr(&rels)?;
+            if left.rel == right.rel {
+                return Err(ParseError {
+                    message: "predicate must span two relations".into(),
+                    offset: at,
+                });
+            }
+            preds.push(JoinPredicate::new(left, right));
+            if p.peek() == Some(&Tok::And) {
+                p.bump();
+            } else {
+                break;
+            }
+        }
+    }
+    if rels.len() < 2 {
+        return Err(p.error("a stream join needs at least two relations"));
+    }
+    Ok(QuerySchema::new(rels, preds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelId;
+
+    #[test]
+    fn parses_chain3() {
+        let q = parse_query("R(A) JOIN S(A, B) ON R.A = S.A JOIN T(B) ON S.B = T.B").unwrap();
+        assert_eq!(q.num_relations(), 3);
+        assert_eq!(q.relation(RelId(0)).name, "R");
+        assert_eq!(q.relation(RelId(1)).columns, vec!["A", "B"]);
+        assert_eq!(q.num_equiv_classes(), 2);
+        // Equivalent to the built-in chain3 (same classes, same structure).
+        let builtin = QuerySchema::chain3();
+        assert_eq!(q.predicates().len(), builtin.predicates().len());
+    }
+
+    #[test]
+    fn bowtie_symbol_and_case_insensitivity() {
+        let q = parse_query("flows(src) ⋈ dns(src, domain) on flows.src = dns.src").unwrap();
+        assert_eq!(q.num_relations(), 2);
+        assert_eq!(q.relation(RelId(1)).name, "dns");
+    }
+
+    #[test]
+    fn multiple_predicates_with_and() {
+        let q = parse_query("A(x, y) JOIN B(x, y) ON A.x = B.x AND A.y = B.y").unwrap();
+        assert_eq!(q.predicates().len(), 2);
+        assert_eq!(q.num_equiv_classes(), 2);
+    }
+
+    #[test]
+    fn predicates_may_reference_earlier_relations() {
+        let q = parse_query("R(a) JOIN S(b) ON R.a = S.b JOIN T(c) ON R.a = T.c").unwrap();
+        assert_eq!(q.num_relations(), 3);
+        // One equivalence class spanning all three.
+        assert_eq!(q.num_equiv_classes(), 1);
+    }
+
+    #[test]
+    fn error_unknown_relation() {
+        let e = parse_query("R(a) JOIN S(b) ON R.a = X.b").unwrap_err();
+        assert!(e.message.contains("unknown relation"), "{e}");
+    }
+
+    #[test]
+    fn error_unknown_column() {
+        let e = parse_query("R(a) JOIN S(b) ON R.z = S.b").unwrap_err();
+        assert!(e.message.contains("no column"), "{e}");
+    }
+
+    #[test]
+    fn error_same_relation_predicate() {
+        let e = parse_query("R(a, b) JOIN S(c) ON R.a = R.b").unwrap_err();
+        assert!(e.message.contains("span two relations"), "{e}");
+    }
+
+    #[test]
+    fn error_duplicate_relation() {
+        let e = parse_query("R(a) JOIN R(b) ON R.a = R.b").unwrap_err();
+        assert!(e.message.contains("duplicate relation"), "{e}");
+    }
+
+    #[test]
+    fn error_trailing_garbage_and_missing_pieces() {
+        assert!(parse_query("R(a)").is_err(), "single relation");
+        assert!(parse_query("R(a) JOIN").is_err());
+        assert!(parse_query("R(a) JOIN S(b)").is_err(), "missing ON");
+        assert!(
+            parse_query("R(a) JOIN S(b) ON R.a S.b").is_err(),
+            "missing ="
+        );
+        assert!(parse_query("R(a # b)").is_err(), "bad character");
+        let e = parse_query("").unwrap_err();
+        assert!(e.message.contains("relation name"));
+    }
+
+    #[test]
+    fn error_positions_point_into_source() {
+        let src = "R(a) JOIN S(b) ON R.a = X.b";
+        let e = parse_query(src).unwrap_err();
+        assert_eq!(&src[e.offset..e.offset + 1], "X");
+    }
+}

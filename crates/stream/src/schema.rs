@@ -1,0 +1,500 @@
+//! Schemas, attribute references, and equijoin query graphs.
+//!
+//! A *stream join* (paper §3.1) is a continuous n-way join
+//! `R_1 ⋈ R_2 ⋈ … ⋈ R_n` where all join predicates are equijoins
+//! `R_i.attr_j = R_k.attr_l`. [`QuerySchema`] holds the relation schemas and
+//! the predicate set, and precomputes the *attribute equivalence classes*
+//! induced by the equijoins (union-find over attributes). Equivalence classes
+//! are how cache keys are canonicalized: the key `K_ijk` of a cache is "the
+//! set of join attributes between the relations before the cached segment and
+//! the relations in the segment" (§3.2), which we represent as the set of
+//! equivalence classes crossing that boundary. Two caches in different
+//! pipelines are *shared* (Definition 4.1) iff they cache the same relation
+//! set with the same key — i.e. the same crossing-class set.
+
+use std::fmt;
+
+/// Index of a relation within a query (0-based; the paper's `R_{i+1}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(pub u16);
+
+/// Index of a column within a relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColId(pub u16);
+
+/// A fully qualified attribute `R_i.col`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrRef {
+    /// Owning relation.
+    pub rel: RelId,
+    /// Column within the relation.
+    pub col: ColId,
+}
+
+impl AttrRef {
+    /// Shorthand constructor.
+    pub fn new(rel: u16, col: u16) -> AttrRef {
+        AttrRef {
+            rel: RelId(rel),
+            col: ColId(col),
+        }
+    }
+}
+
+impl fmt::Display for AttrRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}.{}", self.rel.0, self.col.0)
+    }
+}
+
+/// Schema of one relation: a name and column names.
+#[derive(Debug, Clone)]
+pub struct RelationSchema {
+    /// Human-readable relation name (`"R"`, `"S"`, …).
+    pub name: String,
+    /// Column names, indexed by [`ColId`].
+    pub columns: Vec<String>,
+}
+
+impl RelationSchema {
+    /// Build a schema from a name and column-name list.
+    pub fn new(name: &str, columns: &[&str]) -> RelationSchema {
+        RelationSchema {
+            name: name.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Find a column id by name.
+    pub fn col(&self, name: &str) -> Option<ColId> {
+        self.columns
+            .iter()
+            .position(|c| c == name)
+            .map(|i| ColId(i as u16))
+    }
+}
+
+/// An equijoin predicate `left = right` between two attributes of *different*
+/// relations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JoinPredicate {
+    /// One side of the equality.
+    pub left: AttrRef,
+    /// The other side.
+    pub right: AttrRef,
+}
+
+impl JoinPredicate {
+    /// Construct a predicate; panics if both attributes belong to the same
+    /// relation (selections are out of scope — the paper's query class is
+    /// pure multiway equijoins).
+    pub fn new(left: AttrRef, right: AttrRef) -> JoinPredicate {
+        assert_ne!(
+            left.rel, right.rel,
+            "join predicates must span two relations"
+        );
+        JoinPredicate { left, right }
+    }
+
+    /// True if this predicate touches relation `r`.
+    pub fn touches(&self, r: RelId) -> bool {
+        self.left.rel == r || self.right.rel == r
+    }
+
+    /// If the predicate connects `r` with some other relation, return
+    /// `(attr-on-r, attr-on-other)`.
+    pub fn oriented(&self, r: RelId) -> Option<(AttrRef, AttrRef)> {
+        if self.left.rel == r {
+            Some((self.left, self.right))
+        } else if self.right.rel == r {
+            Some((self.right, self.left))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for JoinPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.left, self.right)
+    }
+}
+
+/// Identifier of an attribute equivalence class (attributes transitively
+/// equated by equijoin predicates share a class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EquivClassId(pub u32);
+
+/// A complete n-way stream-join query: relation schemas + equijoin predicates.
+#[derive(Debug, Clone)]
+pub struct QuerySchema {
+    relations: Vec<RelationSchema>,
+    predicates: Vec<JoinPredicate>,
+    /// `class_of[rel][col]` = equivalence class of that attribute, or `None`
+    /// if the attribute participates in no join predicate.
+    class_of: Vec<Vec<Option<EquivClassId>>>,
+    num_classes: u32,
+}
+
+impl QuerySchema {
+    /// Build a query schema and precompute attribute equivalence classes.
+    ///
+    /// The predicate set is **closed under transitivity**: if `a = b` and
+    /// `b = c` are declared, the implied `a = c` is added (for attribute
+    /// pairs in different relations). This is semantically neutral for
+    /// equijoins (NULL never joins) and guarantees two properties the cache
+    /// machinery relies on: (1) every pair of relations sharing an
+    /// equivalence class is directly joinable, so no pipeline is forced into
+    /// an avoidable cross product, and (2) all prefix-side attributes of a
+    /// class are mutually equated by the time a cache is probed, making one
+    /// representative per crossing class a *consistent* cache key (§3.2).
+    ///
+    /// # Panics
+    /// Panics if a predicate references an out-of-range relation or column,
+    /// or if fewer than two relations are given.
+    pub fn new(relations: Vec<RelationSchema>, predicates: Vec<JoinPredicate>) -> QuerySchema {
+        assert!(relations.len() >= 2, "a join needs at least two relations");
+        assert!(relations.len() <= u16::MAX as usize, "too many relations");
+        for p in &predicates {
+            for a in [p.left, p.right] {
+                assert!(
+                    (a.rel.0 as usize) < relations.len(),
+                    "predicate references unknown relation {a}"
+                );
+                assert!(
+                    (a.col.0 as usize) < relations[a.rel.0 as usize].arity(),
+                    "predicate references unknown column {a}"
+                );
+            }
+        }
+
+        // Union-find over all (rel, col) attributes.
+        let flat = |a: AttrRef, rels: &[RelationSchema]| -> usize {
+            let mut off = 0usize;
+            for r in rels.iter().take(a.rel.0 as usize) {
+                off += r.arity();
+            }
+            off + a.col.0 as usize
+        };
+        let total: usize = relations.iter().map(|r| r.arity()).sum();
+        let mut parent: Vec<usize> = (0..total).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for p in &predicates {
+            let (a, b) = (flat(p.left, &relations), flat(p.right, &relations));
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        }
+
+        // Assign dense class ids only to attributes that appear in predicates.
+        let mut in_predicate = vec![false; total];
+        for p in &predicates {
+            in_predicate[flat(p.left, &relations)] = true;
+            in_predicate[flat(p.right, &relations)] = true;
+        }
+        let mut root_to_class: std::collections::HashMap<usize, EquivClassId> =
+            std::collections::HashMap::new();
+        let mut num_classes = 0u32;
+        let mut class_of: Vec<Vec<Option<EquivClassId>>> = Vec::with_capacity(relations.len());
+        let mut idx = 0usize;
+        for r in &relations {
+            let mut row = Vec::with_capacity(r.arity());
+            for _ in 0..r.arity() {
+                if in_predicate[idx] {
+                    let root = find(&mut parent, idx);
+                    let class = *root_to_class.entry(root).or_insert_with(|| {
+                        let c = EquivClassId(num_classes);
+                        num_classes += 1;
+                        c
+                    });
+                    row.push(Some(class));
+                } else {
+                    row.push(None);
+                }
+                idx += 1;
+            }
+            class_of.push(row);
+        }
+
+        // Transitive closure: add implied equalities so each class's member
+        // attributes form a predicate clique across relations.
+        let mut predicates = predicates;
+        let mut members: Vec<Vec<AttrRef>> = vec![Vec::new(); num_classes as usize];
+        for (r, row) in class_of.iter().enumerate() {
+            for (c, cls) in row.iter().enumerate() {
+                if let Some(cls) = cls {
+                    members[cls.0 as usize].push(AttrRef::new(r as u16, c as u16));
+                }
+            }
+        }
+        let existing: std::collections::HashSet<(AttrRef, AttrRef)> = predicates
+            .iter()
+            .flat_map(|p| [(p.left, p.right), (p.right, p.left)])
+            .collect();
+        for class in &members {
+            for (ai, &a) in class.iter().enumerate() {
+                for &b in &class[ai + 1..] {
+                    if a.rel != b.rel && !existing.contains(&(a, b)) {
+                        predicates.push(JoinPredicate::new(a, b));
+                    }
+                }
+            }
+        }
+
+        QuerySchema {
+            relations,
+            predicates,
+            class_of,
+            num_classes,
+        }
+    }
+
+    /// Number of relations `n`.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// All relation ids, in order.
+    pub fn rel_ids(&self) -> impl Iterator<Item = RelId> {
+        (0..self.relations.len() as u16).map(RelId)
+    }
+
+    /// Schema of relation `r`.
+    pub fn relation(&self, r: RelId) -> &RelationSchema {
+        &self.relations[r.0 as usize]
+    }
+
+    /// All equijoin predicates.
+    pub fn predicates(&self) -> &[JoinPredicate] {
+        &self.predicates
+    }
+
+    /// Number of attribute equivalence classes.
+    pub fn num_equiv_classes(&self) -> u32 {
+        self.num_classes
+    }
+
+    /// Equivalence class of an attribute (`None` if it joins with nothing).
+    pub fn equiv_class(&self, a: AttrRef) -> Option<EquivClassId> {
+        self.class_of[a.rel.0 as usize][a.col.0 as usize]
+    }
+
+    /// Predicates whose two sides lie one in `a` and one in `b` (disjoint
+    /// relation sets).
+    pub fn predicates_between<'s>(
+        &'s self,
+        a: &'s [RelId],
+        b: &'s [RelId],
+    ) -> impl Iterator<Item = JoinPredicate> + 's {
+        self.predicates.iter().copied().filter(move |p| {
+            (a.contains(&p.left.rel) && b.contains(&p.right.rel))
+                || (b.contains(&p.left.rel) && a.contains(&p.right.rel))
+        })
+    }
+
+    /// Equivalence classes that *cross* the boundary between relation sets
+    /// `prefix` and `segment`: classes with at least one member attribute in
+    /// each set, where membership is witnessed by an actual predicate
+    /// endpoint. Sorted and deduplicated — this is the canonical cache key
+    /// `K_ijk` (§3.2) used for shared-cache detection (Definition 4.1).
+    pub fn crossing_classes(&self, prefix: &[RelId], segment: &[RelId]) -> Vec<EquivClassId> {
+        let mut classes: Vec<EquivClassId> = self
+            .predicates_between(prefix, segment)
+            .filter_map(|p| self.equiv_class(p.left))
+            .collect();
+        classes.sort_unstable();
+        classes.dedup();
+        classes
+    }
+
+    /// For each crossing class, pick one representative attribute belonging to
+    /// a relation in `side`. Used to *evaluate* a cache key from either the
+    /// prefix side (probing) or the segment side (maintenance). Returns `None`
+    /// if some class has no representative in `side` (cannot happen for
+    /// genuine crossing classes, but callers handle it defensively).
+    pub fn class_representatives(
+        &self,
+        classes: &[EquivClassId],
+        side: &[RelId],
+    ) -> Option<Vec<AttrRef>> {
+        classes
+            .iter()
+            .map(|&cls| {
+                for &r in side {
+                    let row = &self.class_of[r.0 as usize];
+                    for (c, v) in row.iter().enumerate() {
+                        if *v == Some(cls) {
+                            return Some(AttrRef {
+                                rel: r,
+                                col: ColId(c as u16),
+                            });
+                        }
+                    }
+                }
+                None
+            })
+            .collect()
+    }
+
+    /// Pretty name of an attribute (`"S.B"`).
+    pub fn attr_name(&self, a: AttrRef) -> String {
+        let r = self.relation(a.rel);
+        format!("{}.{}", r.name, r.columns[a.col.0 as usize])
+    }
+}
+
+/// Convenience builders for the paper's two experiment query templates.
+impl QuerySchema {
+    /// The 3-way chain join `R(A) ⋈_A S(A,B) ⋈_B T(B)` used throughout §7.2.
+    pub fn chain3() -> QuerySchema {
+        QuerySchema::new(
+            vec![
+                RelationSchema::new("R", &["A"]),
+                RelationSchema::new("S", &["A", "B"]),
+                RelationSchema::new("T", &["B"]),
+            ],
+            vec![
+                JoinPredicate::new(AttrRef::new(0, 0), AttrRef::new(1, 0)),
+                JoinPredicate::new(AttrRef::new(1, 1), AttrRef::new(2, 0)),
+            ],
+        )
+    }
+
+    /// The n-way star equijoin `R_1(A) ⋈_A R_2(A) ⋈_A … ⋈_A R_n(A)` (§7.1),
+    /// with each relation having one payload column besides `A` so tuples are
+    /// not degenerate.
+    pub fn star(n: usize) -> QuerySchema {
+        assert!(n >= 2);
+        let rels = (0..n)
+            .map(|i| RelationSchema::new(&format!("R{}", i + 1), &["A", "P"]))
+            .collect();
+        // Chain of equalities R1.A = R2.A = ... ; equivalence classes make the
+        // full clique implicit.
+        let preds = (1..n)
+            .map(|i| JoinPredicate::new(AttrRef::new(0, 0), AttrRef::new(i as u16, 0)))
+            .collect();
+        QuerySchema::new(rels, preds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain3_structure() {
+        let q = QuerySchema::chain3();
+        assert_eq!(q.num_relations(), 3);
+        assert_eq!(q.predicates().len(), 2);
+        // A-class: {R.A, S.A}; B-class: {S.B, T.B} — two distinct classes.
+        assert_eq!(q.num_equiv_classes(), 2);
+        let ra = q.equiv_class(AttrRef::new(0, 0)).unwrap();
+        let sa = q.equiv_class(AttrRef::new(1, 0)).unwrap();
+        let sb = q.equiv_class(AttrRef::new(1, 1)).unwrap();
+        let tb = q.equiv_class(AttrRef::new(2, 0)).unwrap();
+        assert_eq!(ra, sa);
+        assert_eq!(sb, tb);
+        assert_ne!(ra, sb);
+    }
+
+    #[test]
+    fn star_single_class() {
+        let q = QuerySchema::star(6);
+        assert_eq!(q.num_relations(), 6);
+        // All A columns share one class.
+        assert_eq!(q.num_equiv_classes(), 1);
+        for i in 0..6 {
+            assert_eq!(q.equiv_class(AttrRef::new(i, 0)), Some(EquivClassId(0)));
+            assert_eq!(
+                q.equiv_class(AttrRef::new(i, 1)),
+                None,
+                "payload joins nothing"
+            );
+        }
+    }
+
+    #[test]
+    fn crossing_classes_chain() {
+        let q = QuerySchema::chain3();
+        let r = RelId(0);
+        let s = RelId(1);
+        let t = RelId(2);
+        // Boundary between {T} (prefix) and {R,S} (segment): only the B class
+        // crosses (T.B = S.B).
+        let crossing = q.crossing_classes(&[t], &[r, s]);
+        assert_eq!(crossing.len(), 1);
+        assert_eq!(crossing[0], q.equiv_class(AttrRef::new(2, 0)).unwrap());
+        // Boundary between {R} and {S,T}: the A class crosses.
+        let crossing = q.crossing_classes(&[r], &[s, t]);
+        assert_eq!(crossing, vec![q.equiv_class(AttrRef::new(0, 0)).unwrap()]);
+        // Boundary between {R} and {T}: nothing crosses directly.
+        assert!(q.crossing_classes(&[r], &[t]).is_empty());
+    }
+
+    #[test]
+    fn representatives_exist_on_both_sides() {
+        let q = QuerySchema::chain3();
+        let (r, s, t) = (RelId(0), RelId(1), RelId(2));
+        let classes = q.crossing_classes(&[t], &[r, s]);
+        let probe_side = q.class_representatives(&classes, &[t]).unwrap();
+        assert_eq!(probe_side, vec![AttrRef::new(2, 0)]); // T.B
+        let maint_side = q.class_representatives(&classes, &[r, s]).unwrap();
+        assert_eq!(maint_side, vec![AttrRef::new(1, 1)]); // S.B
+    }
+
+    #[test]
+    fn shared_cache_key_identity_in_star() {
+        // In the star query, the {R1,R2} segment cached in any other pipeline
+        // has the same crossing-class set — the precondition for sharing
+        // (Definition 4.1, Example 4.2).
+        let q = QuerySchema::star(6);
+        let seg = [RelId(0), RelId(1)];
+        let k3 = q.crossing_classes(&[RelId(2)], &seg);
+        let k4 = q.crossing_classes(&[RelId(3)], &seg);
+        let k6 = q.crossing_classes(&[RelId(5), RelId(4)], &seg);
+        assert_eq!(k3, k4);
+        assert_eq!(k3, k6);
+        assert_eq!(k3.len(), 1);
+    }
+
+    #[test]
+    fn predicates_between_filters() {
+        let q = QuerySchema::chain3();
+        let between: Vec<_> = q.predicates_between(&[RelId(0)], &[RelId(1)]).collect();
+        assert_eq!(between.len(), 1);
+        let none: Vec<_> = q.predicates_between(&[RelId(0)], &[RelId(2)]).collect();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn relation_schema_lookup() {
+        let s = RelationSchema::new("S", &["A", "B"]);
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.col("B"), Some(ColId(1)));
+        assert_eq!(s.col("Z"), None);
+    }
+
+    #[test]
+    fn attr_name_pretty() {
+        let q = QuerySchema::chain3();
+        assert_eq!(q.attr_name(AttrRef::new(1, 1)), "S.B");
+    }
+
+    #[test]
+    #[should_panic(expected = "join predicates must span two relations")]
+    fn same_relation_predicate_panics() {
+        let _ = JoinPredicate::new(AttrRef::new(0, 0), AttrRef::new(0, 1));
+    }
+}

@@ -1,0 +1,293 @@
+//! Tuples, stored tuples, and composite (concatenated) pipeline tuples.
+//!
+//! §3.3 of the paper: *"cached values are sets of references to tuples in
+//! relations, so actual tuples are never copied into the caches."* We realize
+//! that with reference-counted [`StoredTuple`]s: a relation store hands out
+//! [`TupleRef`]s (`Arc<StoredTuple>`), and everything downstream — composite
+//! tuples flowing through pipelines, cache entries, materialized XJoin
+//! subresults — holds references, never copies.
+//!
+//! A [`Composite`] is the concatenation `r · r_1 · r_2 · …` built as a tuple
+//! moves through a pipeline (§3.1): one part per relation already joined.
+
+use crate::schema::{AttrRef, RelId};
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// Unique id of a stored tuple within its relation store (never reused).
+pub type TupleId = u64;
+
+/// Raw column values of one tuple.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleData(pub Box<[Value]>);
+
+impl TupleData {
+    /// Build from a vector of values.
+    pub fn new(values: Vec<Value>) -> TupleData {
+        TupleData(values.into_boxed_slice())
+    }
+
+    /// Build a tuple of integer values (the common case in experiments).
+    pub fn ints(values: &[i64]) -> TupleData {
+        TupleData(values.iter().map(|&i| Value::Int(i)).collect())
+    }
+
+    /// Column accessor.
+    #[inline]
+    pub fn get(&self, col: u16) -> &Value {
+        &self.0[col as usize]
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Approximate memory footprint in bytes (§5 memory accounting).
+    pub fn memory_bytes(&self) -> usize {
+        16 + self.0.iter().map(Value::memory_bytes).sum::<usize>()
+    }
+}
+
+impl fmt::Display for TupleData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+/// A tuple as stored in a relation: identity + data.
+///
+/// Identity (`rel`, `id`) makes delete maintenance exact under multiset
+/// semantics: two stored tuples with equal data are still distinct entities,
+/// and cache entries / materialized subresults remove exactly the instance
+/// that was deleted.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StoredTuple {
+    /// Relation this tuple belongs to.
+    pub rel: RelId,
+    /// Store-assigned unique id.
+    pub id: TupleId,
+    /// The column values.
+    pub data: TupleData,
+}
+
+/// Shared reference to a stored tuple.
+pub type TupleRef = Arc<StoredTuple>;
+
+/// A concatenated pipeline tuple: one [`TupleRef`] per relation joined so far.
+///
+/// Parts are kept in pipeline order. Lookup by relation is a linear scan —
+/// `n ≤ 16` in every realistic stream join, so this beats any map.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Composite {
+    parts: Vec<TupleRef>,
+}
+
+impl Composite {
+    /// A composite with a single part (the update tuple entering a pipeline).
+    pub fn unit(t: TupleRef) -> Composite {
+        Composite { parts: vec![t] }
+    }
+
+    /// Empty composite (used to seed segment-restricted projections).
+    pub fn empty() -> Composite {
+        Composite { parts: Vec::new() }
+    }
+
+    /// Concatenation `self · t` (paper notation `r · r_j`): a new composite
+    /// sharing all existing parts.
+    pub fn extend_with(&self, t: TupleRef) -> Composite {
+        let mut parts = Vec::with_capacity(self.parts.len() + 1);
+        parts.extend(self.parts.iter().cloned());
+        parts.push(t);
+        Composite { parts }
+    }
+
+    /// Concatenate two composites (used when a cache hit splices a cached
+    /// segment result `s` onto the probing prefix `r`: `r · s`, §3.2).
+    pub fn concat(&self, other: &Composite) -> Composite {
+        let mut parts = Vec::with_capacity(self.parts.len() + other.parts.len());
+        parts.extend(self.parts.iter().cloned());
+        parts.extend(other.parts.iter().cloned());
+        Composite { parts }
+    }
+
+    /// The part for relation `r`, if present.
+    #[inline]
+    pub fn part(&self, r: RelId) -> Option<&TupleRef> {
+        self.parts.iter().find(|t| t.rel == r)
+    }
+
+    /// Attribute accessor across parts; `None` if the relation isn't joined in
+    /// yet.
+    #[inline]
+    pub fn get(&self, a: AttrRef) -> Option<&Value> {
+        self.part(a.rel).map(|t| t.data.get(a.col.0))
+    }
+
+    /// All parts, in pipeline order.
+    pub fn parts(&self) -> &[TupleRef] {
+        &self.parts
+    }
+
+    /// Number of parts.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// True if there are no parts.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Relations present in this composite.
+    pub fn rels(&self) -> impl Iterator<Item = RelId> + '_ {
+        self.parts.iter().map(|t| t.rel)
+    }
+
+    /// Project onto a subset of relations, preserving part order. Returns
+    /// `None` if some requested relation is absent. Used by CacheUpdate
+    /// operators to restrict a pipeline delta to the cached segment's
+    /// relations (§3.2 maintenance).
+    pub fn restrict(&self, rels: &[RelId]) -> Option<Composite> {
+        let mut parts = Vec::with_capacity(rels.len());
+        for t in &self.parts {
+            if rels.contains(&t.rel) {
+                parts.push(t.clone());
+            }
+        }
+        if parts.len() == rels.len() {
+            Some(Composite { parts })
+        } else {
+            None
+        }
+    }
+
+    /// Canonical identity of this composite: sorted `(rel, id)` pairs.
+    /// Two composites over the same stored tuples are the same join result
+    /// regardless of pipeline order — this is the equality used by cache
+    /// value sets and materialized subresults.
+    pub fn identity(&self) -> Vec<(RelId, TupleId)> {
+        let mut v: Vec<(RelId, TupleId)> = self.parts.iter().map(|t| (t.rel, t.id)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Approximate memory footprint of the *references* (not the tuples —
+    /// those are owned by the relation stores).
+    pub fn ref_memory_bytes(&self) -> usize {
+        24 + self.parts.len() * std::mem::size_of::<TupleRef>()
+    }
+}
+
+impl fmt::Display for Composite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, t) in self.parts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " · ")?;
+            }
+            write!(f, "R{}{}", t.rel.0, t.data)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Build a [`TupleRef`] directly (handy in tests and generators; relation
+/// stores normally mint these).
+pub fn make_ref(rel: RelId, id: TupleId, data: TupleData) -> TupleRef {
+    Arc::new(StoredTuple { rel, id, data })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rel: u16, id: u64, vals: &[i64]) -> TupleRef {
+        make_ref(RelId(rel), id, TupleData::ints(vals))
+    }
+
+    #[test]
+    fn tuple_data_accessors() {
+        let d = TupleData::ints(&[1, 2, 3]);
+        assert_eq!(d.arity(), 3);
+        assert_eq!(d.get(1), &Value::Int(2));
+        assert_eq!(format!("{d}"), "⟨1, 2, 3⟩");
+        assert_eq!(d.memory_bytes(), 16 + 3 * 16);
+    }
+
+    #[test]
+    fn composite_extension_and_access() {
+        let c = Composite::unit(t(0, 1, &[10]));
+        let c2 = c.extend_with(t(1, 7, &[10, 20]));
+        assert_eq!(c.len(), 1, "extend_with must not mutate the original");
+        assert_eq!(c2.len(), 2);
+        assert_eq!(c2.get(AttrRef::new(1, 1)), Some(&Value::Int(20)));
+        assert_eq!(c2.get(AttrRef::new(2, 0)), None);
+        let rels: Vec<RelId> = c2.rels().collect();
+        assert_eq!(rels, vec![RelId(0), RelId(1)]);
+    }
+
+    #[test]
+    fn concat_splices_cached_segment() {
+        let prefix = Composite::unit(t(2, 5, &[99]));
+        let cached = Composite::unit(t(0, 1, &[1])).extend_with(t(1, 2, &[1, 99]));
+        let full = prefix.concat(&cached);
+        assert_eq!(full.len(), 3);
+        assert_eq!(full.get(AttrRef::new(0, 0)), Some(&Value::Int(1)));
+        assert_eq!(full.get(AttrRef::new(2, 0)), Some(&Value::Int(99)));
+    }
+
+    #[test]
+    fn restrict_projects_segment() {
+        let c = Composite::unit(t(2, 5, &[99]))
+            .extend_with(t(0, 1, &[1]))
+            .extend_with(t(1, 2, &[1, 99]));
+        let seg = c.restrict(&[RelId(0), RelId(1)]).unwrap();
+        assert_eq!(seg.len(), 2);
+        assert!(seg.part(RelId(2)).is_none());
+        assert!(c.restrict(&[RelId(3)]).is_none(), "absent relation");
+    }
+
+    #[test]
+    fn identity_is_order_independent() {
+        let a = t(0, 1, &[1]);
+        let b = t(1, 2, &[1, 99]);
+        let c1 = Composite::unit(a.clone()).extend_with(b.clone());
+        let c2 = Composite::unit(b).extend_with(a);
+        assert_eq!(c1.identity(), c2.identity());
+    }
+
+    #[test]
+    fn identity_distinguishes_equal_data_different_instance() {
+        // Multiset semantics: same values, different stored instance.
+        let c1 = Composite::unit(t(0, 1, &[5]));
+        let c2 = Composite::unit(t(0, 2, &[5]));
+        assert_ne!(c1.identity(), c2.identity());
+    }
+
+    #[test]
+    fn refs_are_shared_not_copied() {
+        let base = t(0, 1, &[42]);
+        let c = Composite::unit(base.clone());
+        let c2 = c.extend_with(t(1, 2, &[42, 1]));
+        // Strong count: base + c + c2 = 3.
+        assert_eq!(Arc::strong_count(&base), 3);
+        drop(c2);
+        assert_eq!(Arc::strong_count(&base), 2);
+    }
+
+    #[test]
+    fn display_formats() {
+        let c = Composite::unit(t(0, 1, &[7]));
+        assert_eq!(format!("{c}"), "[R0⟨7⟩]");
+    }
+}

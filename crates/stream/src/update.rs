@@ -1,0 +1,133 @@
+//! Update streams `∆R_i`.
+//!
+//! §3.1: *"∆R_i denotes the continuous stream of insertions and deletions to
+//! R_i"*. An [`Update`] is one insertion or deletion of a tuple in one
+//! relation, carrying the global-order timestamp. A [`StreamElement`] is an
+//! element of an *append-only* stream (insertions only) before a window
+//! operator converts it into updates.
+
+use crate::schema::RelId;
+use crate::tuple::TupleData;
+use std::fmt;
+
+/// Insert or delete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Tuple enters the relation (window).
+    Insert,
+    /// Tuple leaves the relation (window expiry or explicit delete).
+    Delete,
+}
+
+impl Op {
+    /// +1 for insert, −1 for delete: the sign of the delta this update
+    /// contributes to the join result multiset.
+    pub fn sign(self) -> i64 {
+        match self {
+            Op::Insert => 1,
+            Op::Delete => -1,
+        }
+    }
+
+    /// The inverse operation.
+    pub fn inverse(self) -> Op {
+        match self {
+            Op::Insert => Op::Delete,
+            Op::Delete => Op::Insert,
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Insert => write!(f, "+"),
+            Op::Delete => write!(f, "-"),
+        }
+    }
+}
+
+/// One element of an update stream `∆R`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Update {
+    /// Insert or delete.
+    pub op: Op,
+    /// The relation being updated.
+    pub rel: RelId,
+    /// The tuple's column values. For deletes this identifies (by value) one
+    /// instance to remove under multiset semantics.
+    pub data: TupleData,
+    /// Global-order timestamp (virtual nanoseconds). The engine processes
+    /// updates strictly in nondecreasing `ts` order (§3.1).
+    pub ts: u64,
+}
+
+impl Update {
+    /// Construct an insertion.
+    pub fn insert(rel: RelId, data: TupleData, ts: u64) -> Update {
+        Update {
+            op: Op::Insert,
+            rel,
+            data,
+            ts,
+        }
+    }
+
+    /// Construct a deletion.
+    pub fn delete(rel: RelId, data: TupleData, ts: u64) -> Update {
+        Update {
+            op: Op::Delete,
+            rel,
+            data,
+            ts,
+        }
+    }
+}
+
+impl fmt::Display for Update {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}R{}{} @{}", self.op, self.rel.0, self.data, self.ts)
+    }
+}
+
+/// One element of an *append-only* input stream, before windowing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamElement {
+    /// Stream / relation this element belongs to.
+    pub rel: RelId,
+    /// Tuple values.
+    pub data: TupleData,
+    /// Arrival timestamp (virtual nanoseconds).
+    pub ts: u64,
+}
+
+impl StreamElement {
+    /// Construct an element.
+    pub fn new(rel: RelId, data: TupleData, ts: u64) -> StreamElement {
+        StreamElement { rel, data, ts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_sign_and_inverse() {
+        assert_eq!(Op::Insert.sign(), 1);
+        assert_eq!(Op::Delete.sign(), -1);
+        assert_eq!(Op::Insert.inverse(), Op::Delete);
+        assert_eq!(Op::Delete.inverse(), Op::Insert);
+    }
+
+    #[test]
+    fn constructors() {
+        let u = Update::insert(RelId(1), TupleData::ints(&[4]), 99);
+        assert_eq!(u.op, Op::Insert);
+        assert_eq!(u.ts, 99);
+        let d = Update::delete(RelId(1), TupleData::ints(&[4]), 100);
+        assert_eq!(d.op, Op::Delete);
+        assert_eq!(format!("{u}"), "+R1⟨4⟩ @99");
+        assert_eq!(format!("{d}"), "-R1⟨4⟩ @100");
+    }
+}

@@ -1,0 +1,157 @@
+//! Attribute values.
+//!
+//! The paper's evaluation uses small fixed-size tuples of integer join
+//! attributes (32-byte tuples, §7.1). The library supports 64-bit integers and
+//! interned strings; both are `Eq + Hash + Ord` so they can serve as join keys
+//! and cache keys. Floats are deliberately excluded from the value domain:
+//! equijoin semantics and hash-based cache keys require a total, reflexive
+//! equality.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A single attribute value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// SQL NULL. Compares equal to itself for storage purposes, but equijoin
+    /// predicates treat NULL as matching nothing (see
+    /// [`Value::join_eq`]).
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Interned UTF-8 string (cheap to clone).
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Arc::from(s))
+    }
+
+    /// Equality under SQL equijoin semantics: `NULL` matches nothing,
+    /// including another `NULL`.
+    #[inline]
+    pub fn join_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => false,
+            (a, b) => a == b,
+        }
+    }
+
+    /// True for [`Value::Null`].
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The integer payload, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes, used by the cache memory
+    /// accountant (§5): enum discriminant + payload.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            Value::Null => 16,
+            Value::Int(_) => 16,
+            Value::Str(s) => 16 + s.len(),
+        }
+    }
+
+    /// Feed this value into a hasher in a way that is stable across composite
+    /// and base tuples (used for cache-key hashing and Bloom filters).
+    pub fn hash_into(&self, h: &mut acq_sketch::FxHasher) {
+        use std::hash::Hasher;
+        match self {
+            Value::Null => h.write_u8(0),
+            Value::Int(i) => {
+                h.write_u8(1);
+                h.write_u64(*i as u64);
+            }
+            Value::Str(s) => {
+                h.write_u8(2);
+                h.write(s.as_bytes());
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::str(s)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hasher;
+
+    #[test]
+    fn join_eq_null_semantics() {
+        assert!(!Value::Null.join_eq(&Value::Null));
+        assert!(!Value::Null.join_eq(&Value::Int(1)));
+        assert!(!Value::Int(1).join_eq(&Value::Null));
+        assert!(Value::Int(1).join_eq(&Value::Int(1)));
+        assert!(!Value::Int(1).join_eq(&Value::Int(2)));
+        assert!(Value::str("a").join_eq(&Value::str("a")));
+        assert!(!Value::str("a").join_eq(&Value::Int(1)));
+    }
+
+    #[test]
+    fn storage_equality_includes_null() {
+        // Multiset storage / delete matching uses `==`, where NULL == NULL.
+        assert_eq!(Value::Null, Value::Null);
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn conversions_and_accessors() {
+        let v: Value = 42i64.into();
+        assert_eq!(v.as_int(), Some(42));
+        let s: Value = "hi".into();
+        assert_eq!(s.as_int(), None);
+        assert_eq!(format!("{v} {s}"), "42 \"hi\"");
+        assert_eq!(format!("{}", Value::Null), "NULL");
+    }
+
+    #[test]
+    fn hash_into_distinguishes_types_and_values() {
+        fn h(v: &Value) -> u64 {
+            let mut hasher = acq_sketch::FxHasher::default();
+            v.hash_into(&mut hasher);
+            hasher.finish()
+        }
+        assert_ne!(h(&Value::Int(0)), h(&Value::Null));
+        assert_ne!(h(&Value::Int(1)), h(&Value::Int(2)));
+        assert_ne!(h(&Value::str("1")), h(&Value::Int(1)));
+        assert_eq!(h(&Value::str("abc")), h(&Value::str("abc")));
+    }
+
+    #[test]
+    fn memory_accounting() {
+        assert_eq!(Value::Int(5).memory_bytes(), 16);
+        assert_eq!(Value::str("abcd").memory_bytes(), 20);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests for the stream substrate: windows, merging, and schema
+//! equivalence classes.
+
+use acq_stream::schema::EquivClassId;
+use acq_stream::{
+    merge_by_timestamp, AttrRef, CountWindow, JoinPredicate, Op, QuerySchema, RelId,
+    RelationSchema, StreamElement, TimeWindow, TupleData, Update, WindowOp,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn count_window_contents_are_the_last_w(
+        values in proptest::collection::vec(0i64..1000, 1..200),
+        w in 1usize..20,
+    ) {
+        let mut win = CountWindow::new(RelId(0), w);
+        // Replay updates into a model multiset.
+        let mut model: Vec<i64> = Vec::new();
+        for (ts, &v) in values.iter().enumerate() {
+            for u in win.push(StreamElement::new(RelId(0), TupleData::ints(&[v]), ts as u64)) {
+                let x = u.data.get(0).as_int().unwrap();
+                match u.op {
+                    Op::Insert => model.push(x),
+                    Op::Delete => {
+                        let pos = model.iter().position(|&m| m == x).expect("delete of resident");
+                        model.remove(pos);
+                    }
+                }
+            }
+        }
+        // The model must equal the last min(w, len) values, in order.
+        let tail: Vec<i64> = values.iter().rev().take(w).rev().copied().collect();
+        prop_assert_eq!(model, tail);
+        prop_assert_eq!(win.len(), values.len().min(w));
+    }
+
+    #[test]
+    fn time_window_keeps_exactly_the_recent_range(
+        gaps in proptest::collection::vec(0u64..50, 1..150),
+        range in 1u64..200,
+    ) {
+        let mut win = TimeWindow::new(RelId(1), range);
+        let mut arrivals: Vec<u64> = Vec::new();
+        let mut now = 0u64;
+        let mut live: Vec<u64> = Vec::new();
+        for (i, &g) in gaps.iter().enumerate() {
+            now += g;
+            arrivals.push(now);
+            for u in win.push(StreamElement::new(RelId(1), TupleData::ints(&[i as i64]), now)) {
+                match u.op {
+                    Op::Insert => live.push(now),
+                    Op::Delete => {
+                        live.remove(0);
+                    }
+                }
+            }
+            // Everything still live must satisfy ts + range >= now.
+            prop_assert!(live.iter().all(|&ts| ts + range >= now));
+        }
+        // And nothing old survives: expire to the far future empties it.
+        win.expire(now + range + 1);
+        prop_assert!(win.is_empty());
+    }
+
+    #[test]
+    fn merge_is_a_stable_sorted_interleaving(
+        lens in proptest::collection::vec(0usize..30, 1..5),
+    ) {
+        // Build per-stream sorted sequences with deliberately colliding
+        // timestamps.
+        let streams: Vec<Vec<Update>> = lens
+            .iter()
+            .enumerate()
+            .map(|(r, &len)| {
+                (0..len)
+                    .map(|i| Update::insert(
+                        RelId(r as u16),
+                        TupleData::ints(&[i as i64]),
+                        (i as u64 / 2) * 10,
+                    ))
+                    .collect()
+            })
+            .collect();
+        let merged = merge_by_timestamp(streams.clone());
+        let total: usize = lens.iter().sum();
+        prop_assert_eq!(merged.len(), total);
+        // Sorted by ts.
+        prop_assert!(merged.windows(2).all(|w| w[0].ts <= w[1].ts));
+        // Stable per stream: the subsequence of each relation preserves its
+        // original order.
+        for (r, s) in streams.iter().enumerate() {
+            let sub: Vec<&Update> = merged.iter().filter(|u| u.rel == RelId(r as u16)).collect();
+            prop_assert_eq!(sub.len(), s.len());
+            for (a, b) in sub.iter().zip(s.iter()) {
+                prop_assert_eq!(*a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn equivalence_classes_are_transitive_closures(
+        edges in proptest::collection::vec((0u16..5, 0u16..5), 0..8),
+    ) {
+        // 5 single-column relations; random equality edges between distinct
+        // relations. The schema's classes must match a union-find ground
+        // truth.
+        let rels: Vec<RelationSchema> =
+            (0..5).map(|i| RelationSchema::new(&format!("R{i}"), &["a"])).collect();
+        let preds: Vec<JoinPredicate> = edges
+            .iter()
+            .filter(|(a, b)| a != b)
+            .map(|&(a, b)| JoinPredicate::new(AttrRef::new(a, 0), AttrRef::new(b, 0)))
+            .collect();
+        prop_assume!(!preds.is_empty());
+        let q = QuerySchema::new(rels, preds.clone());
+
+        // Ground-truth union-find over relations.
+        let mut parent: Vec<usize> = (0..5).collect();
+        fn find(p: &mut Vec<usize>, x: usize) -> usize {
+            if p[x] != x {
+                let r = find(p, p[x]);
+                p[x] = r;
+            }
+            p[x]
+        }
+        for pr in &preds {
+            let (a, b) = (pr.left.rel.0 as usize, pr.right.rel.0 as usize);
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            parent[ra] = rb;
+        }
+        for i in 0..5u16 {
+            for j in 0..5u16 {
+                let same_truth =
+                    find(&mut parent, i as usize) == find(&mut parent, j as usize);
+                let ci = q.equiv_class(AttrRef::new(i, 0));
+                let cj = q.equiv_class(AttrRef::new(j, 0));
+                match (ci, cj) {
+                    (Some(a), Some(b)) => prop_assert_eq!(
+                        a == b, same_truth,
+                        "classes disagree with union-find for R{} R{}", i, j
+                    ),
+                    _ => {
+                        // Attributes in no predicate have no class; they must
+                        // be singletons in the ground truth too (relative to
+                        // any classed attribute).
+                    }
+                }
+            }
+        }
+        // Clique closure: every same-class pair of relations has a direct
+        // predicate.
+        for i in 0..5u16 {
+            for j in (i + 1)..5u16 {
+                let (ci, cj) = (q.equiv_class(AttrRef::new(i, 0)), q.equiv_class(AttrRef::new(j, 0)));
+                if ci.is_some() && ci == cj {
+                    let direct = q
+                        .predicates_between(&[RelId(i)], &[RelId(j)])
+                        .next()
+                        .is_some();
+                    prop_assert!(direct, "closure missing for R{} R{}", i, j);
+                }
+            }
+        }
+        let _ = EquivClassId(0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Model-based testing of the direct-mapped cache store (§3.3): compare
+//! against an unbounded reference map. Direct-mapped replacement means the
+//! store may *lose* entries relative to the model (completeness is never
+//! promised), but anything it returns must match the model exactly
+//! (consistency is absolute).
+
+use acq::cache::CacheStore;
+use acq_stream::tuple::make_ref;
+use acq_stream::{Composite, RelId, TupleData, Value};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Create { key: i64, vals: Vec<u64> },
+    Insert { key: i64, id: u64 },
+    Delete { key: i64, id: u64 },
+    Probe { key: i64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = CacheOp> {
+    prop_oneof![
+        (0i64..12, proptest::collection::vec(0u64..20, 0..4))
+            .prop_map(|(key, vals)| CacheOp::Create { key, vals }),
+        (0i64..12, 0u64..20).prop_map(|(key, id)| CacheOp::Insert { key, id }),
+        (0i64..12, 0u64..20).prop_map(|(key, id)| CacheOp::Delete { key, id }),
+        (0i64..12).prop_map(|key| CacheOp::Probe { key }),
+    ]
+}
+
+fn comp(id: u64) -> Composite {
+    Composite::unit(make_ref(RelId(1), id, TupleData::ints(&[id as i64])))
+}
+
+fn key_of(k: i64) -> Vec<Value> {
+    vec![Value::Int(k)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn store_is_a_lossy_but_consistent_map(
+        ops in proptest::collection::vec(op_strategy(), 1..250),
+        buckets in 1usize..64,
+    ) {
+        let mut store = CacheStore::new(buckets);
+        // Model: key → (id → witness count). The store's values are counted
+        // multisets (globally-consistent caches need witness counting); an
+        // id is visible while its count is positive.
+        let mut model: BTreeMap<i64, BTreeMap<u64, u32>> = BTreeMap::new();
+
+        for op in &ops {
+            match op {
+                CacheOp::Create { key, vals } => {
+                    store.create(
+                        key_of(*key),
+                        vals.iter().map(|&v| (comp(v), 1)),
+                    );
+                    let mut counts: BTreeMap<u64, u32> = BTreeMap::new();
+                    for &v in vals {
+                        *counts.entry(v).or_insert(0) += 1;
+                    }
+                    model.insert(*key, counts);
+                }
+                CacheOp::Insert { key, id } => {
+                    store.insert(&key_of(*key), comp(*id), 1);
+                    // Applied only if the key is present *in the store*;
+                    // mirror through a peek.
+                    if store.peek(&key_of(*key)).is_some() {
+                        if let Some(counts) = model.get_mut(key) {
+                            *counts.entry(*id).or_insert(0) += 1;
+                        }
+                    }
+                }
+                CacheOp::Delete { key, id } => {
+                    store.delete(&key_of(*key), &comp(*id), 1);
+                    if let Some(counts) = model.get_mut(key) {
+                        if let Some(c) = counts.get_mut(id) {
+                            *c = c.saturating_sub(1);
+                            if *c == 0 {
+                                counts.remove(id);
+                            }
+                        }
+                    }
+                }
+                CacheOp::Probe { key } => {
+                    if let Some(entry) = store.probe(&key_of(*key)) {
+                        let got: BTreeSet<u64> = entry
+                            .composites()
+                            .map(|c| c.identity()[0].1)
+                            .collect();
+                        let want: BTreeSet<u64> = model
+                            .get(key)
+                            .map(|c| c.keys().copied().collect())
+                            .unwrap_or_default();
+                        prop_assert_eq!(
+                            got, want,
+                            "store returned a value diverging from the model for key {}",
+                            key
+                        );
+                    } else {
+                        // Miss: either never created or evicted by a
+                        // colliding create — drop from the model so later
+                        // inserts don't accumulate there.
+                        model.remove(key);
+                    }
+                }
+            }
+            // Sync: entries evicted by collisions must leave the model too.
+            model.retain(|k, _| store.peek(&key_of(*k)).is_some());
+            // Invariants that always hold:
+            prop_assert!(store.len() <= store.num_buckets());
+        }
+    }
+
+    #[test]
+    fn resize_never_corrupts_surviving_entries(
+        keys in proptest::collection::btree_set(0i64..40, 1..30),
+        new_buckets in 1usize..16,
+    ) {
+        let mut store = CacheStore::new(64);
+        for &k in &keys {
+            store.create(key_of(k), vec![(comp(k as u64), 1)]);
+        }
+        store.resize(new_buckets);
+        for &k in &keys {
+            let expected_key = key_of(k);
+            if let Some(e) = store.peek(&expected_key) {
+                prop_assert_eq!(e.key(), expected_key.as_slice());
+                prop_assert_eq!(e.len(), 1);
+            }
+        }
+        prop_assert!(store.len() <= store.num_buckets());
+    }
+}

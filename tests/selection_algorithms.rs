@@ -1,0 +1,125 @@
+//! Cross-checks of the four offline cache-selection algorithms (§4.4,
+//! Appendix B) on randomly generated instances spanning sharing, nesting,
+//! and multiple pipelines.
+
+use acq::select::{
+    solve_exhaustive, solve_greedy, solve_randomized, solve_recursive, CacheChoice,
+    SelectionInstance,
+};
+use proptest::prelude::*;
+
+/// Random instance: `pipelines × ops`, nested spans, optional sharing.
+fn instance_strategy(share: bool) -> impl Strategy<Value = SelectionInstance> {
+    let ops = proptest::collection::vec(proptest::collection::vec(10.0f64..200.0, 2..4), 2..4);
+    (
+        ops,
+        proptest::collection::vec(0.0f64..1.0, 24),
+        0u64..1_000_000,
+    )
+        .prop_map(move |(op_proc, randoms, _seed)| {
+            let mut choices = Vec::new();
+            let mut r = randoms.into_iter().cycle();
+            let mut next = move || r.next().unwrap();
+            let num_groups = 4usize;
+            for (pi, pipeline) in op_proc.iter().enumerate() {
+                let len = pipeline.len();
+                // Laminar span family (as the prefix invariant guarantees):
+                // whole pipeline, left part, right part.
+                let mid = (len - 1) / 2;
+                let spans = [(0usize, len - 1), (0, mid), (mid + 1, len - 1)];
+                for &(s, e) in spans.iter() {
+                    if next() < 0.3 {
+                        continue;
+                    }
+                    let covered: f64 = pipeline[s..=e].iter().sum();
+                    let proc = next() * covered;
+                    let group = if share {
+                        (next() * num_groups as f64) as usize % num_groups
+                    } else {
+                        choices.len()
+                    };
+                    choices.push(CacheChoice {
+                        id: choices.len(),
+                        pipeline: pi,
+                        start: s,
+                        end: e,
+                        benefit: covered - proc,
+                        proc,
+                        group,
+                    });
+                }
+            }
+            let group_count = if share {
+                num_groups
+            } else {
+                choices.len().max(1)
+            };
+            let mut inst = SelectionInstance {
+                op_proc,
+                choices,
+                group_cost: vec![0.0; group_count],
+            };
+            for g in 0..group_count {
+                inst.group_cost[g] = 10.0 + 13.0 * g as f64;
+            }
+            inst
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn all_solvers_feasible_and_objectives_consistent(inst in instance_strategy(true)) {
+        let sols = [
+            ("exhaustive", solve_exhaustive(&inst)),
+            ("greedy", solve_greedy(&inst)),
+            ("randomized", solve_randomized(&inst, 99)),
+            ("recursive", solve_recursive(&inst)),
+        ];
+        let opt_net = inst.net_objective(&sols[0].1);
+        for (name, sol) in &sols {
+            prop_assert!(inst.is_feasible(sol), "{name} infeasible: {sol:?}");
+            // Duality: max-form and min-form agree.
+            let net = inst.net_objective(sol);
+            let cost = inst.total_cost(sol);
+            prop_assert!(
+                (inst.total_op_proc() - net - cost).abs() < 1e-6,
+                "{name}: duality broken"
+            );
+            // No solver beats the exact one.
+            prop_assert!(net <= opt_net + 1e-9, "{name} 'beat' exhaustive?!");
+        }
+        // Approximation quality: within the proven O(log n) factor on the
+        // min objective.
+        let total_ops: usize = inst.op_proc.iter().map(Vec::len).sum();
+        let bound = (total_ops as f64).ln() + 2.5;
+        let opt_cost = inst.total_cost(&sols[0].1);
+        for (name, sol) in &sols[1..3] {
+            prop_assert!(
+                inst.total_cost(sol) <= bound * opt_cost + 1e-6,
+                "{name} exceeded the approximation bound"
+            );
+        }
+    }
+
+    #[test]
+    fn recursive_is_exact_without_sharing(inst in instance_strategy(false)) {
+        let dp = solve_recursive(&inst);
+        let ex = solve_exhaustive(&inst);
+        prop_assert!(inst.is_feasible(&dp));
+        prop_assert!(
+            (inst.net_objective(&dp) - inst.net_objective(&ex)).abs() < 1e-9,
+            "DP {} != exhaustive {}",
+            inst.net_objective(&dp),
+            inst.net_objective(&ex)
+        );
+    }
+
+    #[test]
+    fn exhaustive_never_negative(inst in instance_strategy(true)) {
+        // Choosing nothing is always allowed, so the optimum is ≥ 0.
+        let sol = solve_exhaustive(&inst);
+        prop_assert!(inst.net_objective(&sol) >= -1e-9);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property test: *every* binary join tree computes the same delta stream as
+//! the oracle — bushy or deep, on chain and star queries, under inserts and
+//! deletes. This pins down the XJoin baseline's incremental-maintenance
+//! correctness for arbitrary plan shapes (the paper's `X` is picked by
+//! exhaustive search over exactly this tree space).
+
+use acq_mjoin::oracle::{canonical_rows, multiset_diff, Oracle};
+use acq_mjoin::xjoin::{all_trees, XJoin};
+use acq_stream::{QuerySchema, RelId, TupleData, Update};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Step {
+    Insert { rel: u16, a: i64, b: i64 },
+    DeleteOldest { rel: u16 },
+}
+
+fn steps(n_rels: u16) -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (0..n_rels, 0i64..4, 0i64..4).prop_map(|(rel, a, b)| Step::Insert { rel, a, b }),
+            1 => (0..n_rels).prop_map(|rel| Step::DeleteOldest { rel }),
+        ],
+        20..100,
+    )
+}
+
+fn materialize(steps: &[Step], query: &QuerySchema) -> Vec<Update> {
+    let n = query.num_relations();
+    let mut live: Vec<std::collections::VecDeque<TupleData>> =
+        vec![std::collections::VecDeque::new(); n];
+    let mut out = Vec::new();
+    for (ts, s) in steps.iter().enumerate() {
+        match *s {
+            Step::Insert { rel, a, b } => {
+                let data = if query.relation(RelId(rel)).arity() == 1 {
+                    TupleData::ints(&[a])
+                } else {
+                    TupleData::ints(&[a, b])
+                };
+                live[rel as usize].push_back(data.clone());
+                out.push(Update::insert(RelId(rel), data, ts as u64));
+            }
+            Step::DeleteOldest { rel } => {
+                if let Some(data) = live[rel as usize].pop_front() {
+                    out.push(Update::delete(RelId(rel), data, ts as u64));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn check_all_trees(query: QuerySchema, updates: &[Update]) {
+    let n = query.num_relations();
+    // Reference deltas from the oracle.
+    let mut oracle = Oracle::new(query.clone());
+    let mut reference = Vec::new();
+    for u in updates {
+        reference.extend(oracle.apply_and_delta(u));
+    }
+    for tree in all_trees(&query) {
+        let mut x = XJoin::new(query.clone(), tree.clone());
+        let mut got = Vec::new();
+        for u in updates {
+            got.extend(
+                x.process(u)
+                    .into_iter()
+                    .map(|(op, c)| (op, canonical_rows(&c, n))),
+            );
+        }
+        let diff = multiset_diff(&got, &reference);
+        assert!(diff.is_empty(), "tree {tree} diverged: {diff:?}");
+        // After a full replay the memory accounting must be exact.
+        if got.iter().map(|(op, _)| op.sign()).sum::<i64>() == 0 && x.materialized_rows() == 0 {
+            assert_eq!(x.materialized_bytes(), 0, "byte accounting drifted");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_chain3_tree_matches_oracle(s in steps(3)) {
+        let q = QuerySchema::chain3();
+        let updates = materialize(&s, &q);
+        check_all_trees(q, &updates);
+    }
+
+    #[test]
+    fn every_star4_tree_matches_oracle(s in steps(4)) {
+        let q = QuerySchema::star(4);
+        let updates = materialize(&s, &q);
+        check_all_trees(q, &updates);
+    }
+}
