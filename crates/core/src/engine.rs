@@ -274,6 +274,9 @@ pub struct AdaptiveJoinEngine {
     fruitless_streak: u32,
     /// Scratch buffers reused across updates.
     scratch_next: Vec<Composite>,
+    /// Reusable probe/maintenance key buffer (avoids a `Vec<Value>`
+    /// allocation per cache access).
+    scratch_key: Vec<Value>,
     /// Bounded adaptivity event log.
     events: std::collections::VecDeque<AdaptivityEvent>,
 }
@@ -328,6 +331,7 @@ impl AdaptiveJoinEngine {
             orderer: GreedyOrderer::default(),
             fruitless_streak: 0,
             scratch_next: Vec::new(),
+            scratch_key: Vec::new(),
             events: std::collections::VecDeque::new(),
             config,
         };
@@ -598,16 +602,21 @@ impl AdaptiveJoinEngine {
             .record_size(u.rel, self.core.relation(u.rel).len());
 
         let pi = u.rel.0 as usize;
+        // Move this pipeline's plan out of `self` for the duration of the
+        // update: the executor borrows taps/bloom/lookup tables directly
+        // instead of cloning them per update. Restored before
+        // `maybe_housekeeping`, which may rebuild `self.plans` wholesale.
+        let plan = std::mem::take(&mut self.plans[pi]);
         // Globally-consistent maintenance: compute the segment-join delta
         // separately (§6; the prefix invariant doesn't hand it to us) and
         // apply it before any pipeline runs.
-        if !self.plans[pi].gc_direct.is_empty() {
-            let taps = self.plans[pi].gc_direct.clone();
-            self.maintain_gc_direct(&taps, u.rel, &tref, u.op);
+        if !plan.gc_direct.is_empty() {
+            self.maintain_gc_direct(&plan.gc_direct, u.rel, &tref, u.op);
         }
 
         let profiled = self.profiler.should_profile(u.rel);
-        let outputs = self.run_pipeline(pi, Composite::unit(tref), u.op, profiled);
+        let outputs = self.run_pipeline(pi, &plan, Composite::unit(tref), u.op, profiled);
+        self.plans[pi] = plan;
 
         self.core.charge_outputs(outputs.len());
         self.counters.outputs_emitted += outputs.len() as u64;
@@ -615,11 +624,32 @@ impl AdaptiveJoinEngine {
         outputs.into_iter().map(|c| (u.op, c)).collect()
     }
 
+    /// Process a batch of updates in order, returning the concatenated
+    /// result deltas. Semantically identical to calling
+    /// [`AdaptiveJoinEngine::process`] per update; batching amortizes the
+    /// caller's dispatch and lets downstream consumers (e.g. the sharded
+    /// executor) hand over work wholesale.
+    pub fn process_batch(&mut self, updates: &[Update]) -> Vec<(Op, Composite)> {
+        let mut out = Vec::new();
+        for u in updates {
+            out.extend(self.process(u));
+        }
+        out
+    }
+
+    /// Like [`AdaptiveJoinEngine::process_batch`] but keeps per-update
+    /// grouping: `result[i]` is the delta list of `updates[i]`. The sharded
+    /// executor's deterministic merge needs the per-update boundaries.
+    pub fn process_batch_grouped(&mut self, updates: &[Update]) -> Vec<Vec<(Op, Composite)>> {
+        updates.iter().map(|u| self.process(u)).collect()
+    }
+
     /// Walk one composite through pipeline `pi`, honouring caches, taps, and
     /// profiling.
     fn run_pipeline(
         &mut self,
         pi: usize,
+        plan: &PipelinePlan,
         seed: Composite,
         op_kind: Op,
         profiled: bool,
@@ -638,14 +668,12 @@ impl AdaptiveJoinEngine {
         let mut j = 0usize;
         while j < num_ops {
             // (a) plain-cache maintenance taps at this position.
-            if !self.plans[pi].taps[j].is_empty() && !frontier.is_empty() {
-                let taps = self.plans[pi].taps[j].clone();
-                self.feed_plain_taps(&taps, &frontier, op_kind);
+            if !plan.taps[j].is_empty() && !frontier.is_empty() {
+                self.feed_plain_taps(&plan.taps[j], &frontier, op_kind);
             }
             // (b) Bloom probe-stream feeds for profiled candidates.
-            if !self.plans[pi].bloom[j].is_empty() && !frontier.is_empty() {
-                let feed: Vec<usize> = self.plans[pi].bloom[j].clone();
-                self.feed_bloom(&feed, &frontier);
+            if !plan.bloom[j].is_empty() && !frontier.is_empty() {
+                self.feed_bloom(&plan.bloom[j], &frontier);
             }
             if frontier.is_empty() {
                 // Record zeroes for remaining positions if profiling.
@@ -656,11 +684,7 @@ impl AdaptiveJoinEngine {
                 continue;
             }
             // (c) CacheLookup (skipped for profiled tuples, §4.3/App. A).
-            let lookup = if profiled {
-                None
-            } else {
-                self.plans[pi].lookup[j]
-            };
+            let lookup = if profiled { None } else { plan.lookup[j] };
             if let Some(ci) = lookup {
                 let (end, hit_out) = self.cache_segment(pi, ci, &frontier, op_kind);
                 frontier = hit_out;
@@ -720,17 +744,16 @@ impl AdaptiveJoinEngine {
         frontier: &[Composite],
         op_kind: Op,
     ) -> (usize, Vec<Composite>) {
-        let (start, end, group, key_attrs, segment, is_global) = {
+        let (start, end, group, is_global) = {
             let c = &self.cands[ci].cand;
-            (
-                c.start,
-                c.end,
-                c.group,
-                c.probe_attrs.clone(),
-                c.segment.clone(),
-                c.is_global(),
-            )
+            (c.start, c.end, c.group, c.is_global())
         };
+        // Move the candidate's attribute/segment lists out instead of
+        // cloning them per call; nothing below reads `self.cands`, and both
+        // are restored before return.
+        let key_attrs = std::mem::take(&mut self.cands[ci].cand.probe_attrs);
+        let segment = std::mem::take(&mut self.cands[ci].cand.segment);
+        let mut key = std::mem::take(&mut self.scratch_key);
         let key_len = key_attrs.len();
         let model_probe = self.core.cost_model().cache_probe(key_len);
         let model_hit_per_tuple = self.core.cost_model().cache_hit_per_tuple;
@@ -739,10 +762,12 @@ impl AdaptiveJoinEngine {
         let mut misses = 0u64;
 
         for c in frontier {
-            let key: Vec<Value> = key_attrs
-                .iter()
-                .map(|a| c.get(*a).expect("probe attrs bound in prefix").clone())
-                .collect();
+            key.clear();
+            key.extend(
+                key_attrs
+                    .iter()
+                    .map(|a| c.get(*a).expect("probe attrs bound in prefix").clone()),
+            );
             self.core.charge(model_probe);
             let cached: Option<Vec<Composite>> = {
                 let store = self.stores[group].as_mut().expect("used cache has a store");
@@ -780,7 +805,9 @@ impl AdaptiveJoinEngine {
                     let create_cost = self.core.cost_model().cache_update(values.len());
                     {
                         let store = self.stores[group].as_mut().expect("store exists");
-                        store.create(key, values);
+                        // `create` needs an owned key — the only key
+                        // allocation left, paid on misses alone.
+                        store.create(key.clone(), values);
                     }
                     self.core.charge(create_cost);
                     out.extend(seg_frontier);
@@ -791,6 +818,9 @@ impl AdaptiveJoinEngine {
         // cached values reflect the current segment join (upper bound), and
         // the probing prefix tuple was already removed from its store.
         let _ = (op_kind, is_global);
+        self.scratch_key = key;
+        self.cands[ci].cand.probe_attrs = key_attrs;
+        self.cands[ci].cand.segment = segment;
         self.counters.cache_hits += hits;
         self.counters.cache_misses += misses;
         (end, out)
@@ -801,6 +831,7 @@ impl AdaptiveJoinEngine {
     /// kind.
     fn feed_plain_taps(&mut self, taps: &[Tap], frontier: &[Composite], op_kind: Op) {
         let mut cost = 0u64;
+        let mut key = std::mem::take(&mut self.scratch_key);
         for tap in taps {
             let Some(store) = self.stores[tap.group].as_mut() else {
                 continue;
@@ -809,11 +840,12 @@ impl AdaptiveJoinEngine {
                 let Some(seg) = c.restrict(&tap.segment) else {
                     continue;
                 };
-                let key: Vec<Value> = tap
-                    .maint_attrs
-                    .iter()
-                    .map(|a| seg.get(*a).expect("maint attrs bound in segment").clone())
-                    .collect();
+                key.clear();
+                key.extend(
+                    tap.maint_attrs
+                        .iter()
+                        .map(|a| seg.get(*a).expect("maint attrs bound in segment").clone()),
+                );
                 match op_kind {
                     Op::Insert => store.insert(&key, seg, 1),
                     Op::Delete => store.delete(&key, &seg, 1),
@@ -821,6 +853,7 @@ impl AdaptiveJoinEngine {
                 cost += 1;
             }
         }
+        self.scratch_key = key;
         let per = self.core.cost_model().cache_update(1);
         self.core.charge(cost * per);
     }
@@ -861,21 +894,24 @@ impl AdaptiveJoinEngine {
             }
             let per = self.core.cost_model().cache_update(1);
             self.core.charge(frontier.len() as u64 * per);
+            let mut key = std::mem::take(&mut self.scratch_key);
             let store = self.stores[tap.group].as_mut().expect("checked above");
             for c in &frontier {
                 let Some(seg) = c.restrict(&tap.segment) else {
                     continue;
                 };
-                let key: Vec<Value> = tap
-                    .maint_attrs
-                    .iter()
-                    .map(|a| seg.get(*a).expect("maint attrs bound").clone())
-                    .collect();
+                key.clear();
+                key.extend(
+                    tap.maint_attrs
+                        .iter()
+                        .map(|a| seg.get(*a).expect("maint attrs bound").clone()),
+                );
                 match op_kind {
                     Op::Insert => store.insert(&key, seg, 1),
                     Op::Delete => store.delete(&key, &seg, 1),
                 }
             }
+            self.scratch_key = key;
         }
     }
 
@@ -884,8 +920,10 @@ impl AdaptiveJoinEngine {
         let bloom_cost = self.core.cost_model().bloom_insert;
         let mut charged = 0u64;
         for &ci in cand_idxs {
-            // Split borrows: candidate data cloned is cheap (attr list).
-            let attrs = self.cands[ci].cand.probe_attrs.clone();
+            // Move the attr list out instead of cloning it per update; the
+            // loop below only touches the candidate's estimator state, and
+            // the list is restored right after.
+            let attrs = std::mem::take(&mut self.cands[ci].cand.probe_attrs);
             for c in frontier {
                 let mut h = acq_sketch::FxHasher::default();
                 for a in &attrs {
@@ -898,6 +936,7 @@ impl AdaptiveJoinEngine {
                 }
                 charged += 1;
             }
+            self.cands[ci].cand.probe_attrs = attrs;
         }
         self.core.charge(charged * bloom_cost);
     }

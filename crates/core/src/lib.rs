@@ -50,6 +50,7 @@ pub mod engine;
 pub mod memory;
 pub mod profiler;
 pub mod select;
+pub mod shard;
 pub mod stream_join;
 
 pub use cache::{CacheStats, CacheStore};
@@ -62,4 +63,5 @@ pub use engine::{
 pub use memory::{allocate, Allocation, MemoryConfig, MemoryRequest};
 pub use profiler::{Profiler, ProfilerConfig};
 pub use select::{SelectionInstance, Solution};
+pub use shard::{auto_partition_class, canonicalize_group, RoutingStats, ShardConfig, ShardedEngine};
 pub use stream_join::{StreamJoin, StreamJoinBuilder, WindowSpec};

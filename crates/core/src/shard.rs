@@ -1,0 +1,546 @@
+//! Sharded parallel execution of the A-Caching engine.
+//!
+//! The paper's engine (§3.1) is a strictly single-threaded event loop:
+//! every update, across all streams, is processed to completion in global
+//! arrival order. [`ShardedEngine`] scales that loop across cores by
+//! **hash-partitioning the update stream on one join-attribute equivalence
+//! class** over `N` independent [`AdaptiveJoinEngine`] shards:
+//!
+//! * A **partition class** is chosen (automatically: the equivalence class
+//!   whose member attributes span the most relations). Every relation with
+//!   an attribute in that class is *routed*: each of its updates goes to the
+//!   single shard owning the hash of that attribute's value. Relations
+//!   without such an attribute are *broadcast* to every shard.
+//! * Each shard runs the full adaptive machinery (profiler, re-optimizer,
+//!   cache stores) over its substream. Hash partitioning keeps the
+//!   substream an unbiased sample of the key distribution, so per-shard
+//!   adaptive decisions remain sound — they may even diverge across shards
+//!   when per-key skew rewards different cache sets.
+//! * Output deltas are merged back into **global arrival order** with the
+//!   same k-way merge the input substrate uses
+//!   ([`acq_stream::merge_ordered_runs`]), keyed by each update's position
+//!   in the batch. Within one update's delta group the results are put in
+//!   canonical row order ([`canonicalize_group`]), making the merged output
+//!   a pure function of the input batch — bit-identical across runs, shard
+//!   counts, and thread schedules.
+//!
+//! **Correctness.** All attributes of the partition class are transitively
+//! equated by equijoin predicates, so every n-way result binds them to one
+//! common value `v` (NULL joins nothing). The tuples of routed relations
+//! participating in that result live only in shard `hash(v)`, hence each
+//! result delta materializes in *exactly one* shard: no result is lost (the
+//! probing update reaches that shard — directly if routed, by broadcast
+//! otherwise) and none is duplicated (any other shard lacks the routed
+//! tuples). Deletes hash identically to the inserts they revert, so windows
+//! shrink in the same shard they grew in.
+
+use crate::engine::{AdaptiveJoinEngine, EngineConfig, EngineCounters};
+use acq_mjoin::clock::ClockAggregate;
+use acq_mjoin::oracle::canonical_rows;
+use acq_mjoin::plan::PlanOrders;
+use acq_stream::{
+    merge_ordered_runs, AttrRef, ColId, Composite, EquivClassId, Op, QuerySchema, RelId, Update,
+};
+
+/// Below this batch size the shards run inline on the calling thread —
+/// thread hand-off costs more than it buys for a handful of updates.
+const INLINE_BATCH: usize = 32;
+
+/// One update's delta group tagged with its global batch index.
+type IndexedGroup = (usize, Vec<(Op, Composite)>);
+
+/// Sharding configuration.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Number of engine shards (≥ 1).
+    pub num_shards: usize,
+    /// Partition class; `None` selects the class spanning the most
+    /// relations (ties toward the lower class id).
+    pub partition_class: Option<EquivClassId>,
+}
+
+impl Default for ShardConfig {
+    fn default() -> ShardConfig {
+        ShardConfig {
+            num_shards: 4,
+            partition_class: None,
+        }
+    }
+}
+
+/// Routing counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoutingStats {
+    /// Updates hashed to a single shard.
+    pub routed: u64,
+    /// Updates broadcast to every shard (relations outside the partition
+    /// class).
+    pub broadcast: u64,
+}
+
+/// Pick the partition class covering the most relations (ties toward the
+/// lower class id). `None` when the query has no join predicates at all.
+pub fn auto_partition_class(query: &QuerySchema) -> Option<EquivClassId> {
+    let mut best: Option<(EquivClassId, usize)> = None;
+    for c in 0..query.num_equiv_classes() {
+        let cls = EquivClassId(c);
+        let cover = query
+            .rel_ids()
+            .filter(|&r| partition_col(query, r, cls).is_some())
+            .count();
+        if best.is_none_or(|(_, bc)| cover > bc) {
+            best = Some((cls, cover));
+        }
+    }
+    best.map(|(cls, _)| cls)
+}
+
+/// First column of relation `r` belonging to equivalence class `cls`.
+fn partition_col(query: &QuerySchema, r: RelId, cls: EquivClassId) -> Option<ColId> {
+    (0..query.relation(r).arity() as u16)
+        .map(ColId)
+        .find(|&c| query.equiv_class(AttrRef { rel: r, col: c }) == Some(cls))
+}
+
+/// Per-relation routing table.
+#[derive(Debug, Clone)]
+struct Router {
+    /// `part_col[rel]` = column to hash, or `None` to broadcast.
+    part_col: Vec<Option<ColId>>,
+    num_shards: usize,
+}
+
+enum Route {
+    Shard(usize),
+    Broadcast,
+}
+
+impl Router {
+    fn new(query: &QuerySchema, cls: EquivClassId, num_shards: usize) -> Router {
+        Router {
+            part_col: query
+                .rel_ids()
+                .map(|r| partition_col(query, r, cls))
+                .collect(),
+            num_shards,
+        }
+    }
+
+    fn route(&self, u: &Update) -> Route {
+        let Some(col) = self.part_col[u.rel.0 as usize] else {
+            return Route::Broadcast;
+        };
+        use std::hash::Hasher;
+        let mut h = acq_sketch::FxHasher::default();
+        // NULL partition values hash like any other value: the tuple joins
+        // nothing (join_eq is false for NULL), so *which* shard stores it is
+        // irrelevant — only that its insert and delete agree.
+        u.data.get(col.0).hash_into(&mut h);
+        // Finalization mix: FxHash's low bits are weak and `% num_shards`
+        // looks straight at them.
+        let mut x = h.finish();
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        x ^= x >> 33;
+        Route::Shard((x % self.num_shards as u64) as usize)
+    }
+}
+
+/// Put one update's delta group into canonical row order (sorted by the
+/// per-relation tuple data of each result). Both the sharded merge and any
+/// single-engine output being compared against it must use this — engines
+/// emit equal delta *multisets* per update, but their internal enumeration
+/// order depends on store layout and adaptive plan state.
+pub fn canonicalize_group(group: &mut [(Op, Composite)], num_relations: usize) {
+    if group.len() > 1 {
+        group.sort_by_cached_key(|(_, c)| canonical_rows(c, num_relations));
+    }
+}
+
+/// A hash-partitioned parallel A-Caching executor: `N` independent
+/// [`AdaptiveJoinEngine`]s behind a deterministic router and merge.
+#[derive(Debug)]
+pub struct ShardedEngine {
+    query: QuerySchema,
+    shards: Vec<AdaptiveJoinEngine>,
+    router: Router,
+    partition_class: EquivClassId,
+    routing: RoutingStats,
+}
+
+impl ShardedEngine {
+    /// Build with default engine settings and identity pipeline orders.
+    pub fn new(query: QuerySchema, num_shards: usize) -> ShardedEngine {
+        let orders = PlanOrders::identity(&query);
+        ShardedEngine::with_config(
+            query,
+            orders,
+            EngineConfig::default(),
+            ShardConfig {
+                num_shards,
+                partition_class: None,
+            },
+        )
+    }
+
+    /// Build with explicit orders, per-shard engine configuration, and
+    /// sharding configuration. Every shard gets an identical engine; they
+    /// diverge only through the substreams they see.
+    pub fn with_config(
+        query: QuerySchema,
+        orders: PlanOrders,
+        config: EngineConfig,
+        shard_cfg: ShardConfig,
+    ) -> ShardedEngine {
+        assert!(shard_cfg.num_shards >= 1, "need at least one shard");
+        let partition_class = shard_cfg
+            .partition_class
+            .or_else(|| auto_partition_class(&query))
+            .expect("query has no join predicates — nothing to partition on");
+        let router = Router::new(&query, partition_class, shard_cfg.num_shards);
+        assert!(
+            router.part_col.iter().any(Option::is_some),
+            "partition class covers no relation"
+        );
+        let shards = (0..shard_cfg.num_shards)
+            .map(|_| AdaptiveJoinEngine::with_config(query.clone(), orders.clone(), config.clone()))
+            .collect();
+        ShardedEngine {
+            query,
+            shards,
+            router,
+            partition_class,
+            routing: RoutingStats::default(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The equivalence class the stream is partitioned on.
+    pub fn partition_class(&self) -> EquivClassId {
+        self.partition_class
+    }
+
+    /// Relations routed by broadcast (no attribute in the partition class).
+    pub fn broadcast_relations(&self) -> Vec<RelId> {
+        self.router
+            .part_col
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_none())
+            .map(|(r, _)| RelId(r as u16))
+            .collect()
+    }
+
+    /// Routing counters.
+    pub fn routing_stats(&self) -> RoutingStats {
+        self.routing
+    }
+
+    /// Read access to the shard engines.
+    pub fn shards(&self) -> &[AdaptiveJoinEngine] {
+        &self.shards
+    }
+
+    /// Aggregated virtual clocks: total work across shards, critical path,
+    /// balance.
+    pub fn clock_aggregate(&self) -> ClockAggregate {
+        ClockAggregate::from_ns(self.shards.iter().map(|s| s.core().now_ns()))
+    }
+
+    /// Engine counters summed over shards. A broadcast update counts once
+    /// per shard in `tuples_processed`.
+    pub fn counters_aggregate(&self) -> EngineCounters {
+        let mut agg = EngineCounters::default();
+        for s in &self.shards {
+            let c = s.counters();
+            agg.tuples_processed += c.tuples_processed;
+            agg.outputs_emitted += c.outputs_emitted;
+            agg.cache_hits += c.cache_hits;
+            agg.cache_misses += c.cache_misses;
+            agg.reoptimizations += c.reoptimizations;
+            agg.demotions += c.demotions;
+            agg.reorderings += c.reorderings;
+        }
+        agg
+    }
+
+    // ------------------------------------------------------------------
+    // Processing
+
+    /// Process one update. Equivalent to a one-element
+    /// [`ShardedEngine::process_batch`].
+    pub fn process(&mut self, u: &Update) -> Vec<(Op, Composite)> {
+        self.process_batch_grouped(std::slice::from_ref(u))
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Process a batch of updates (in the given order), returning the
+    /// concatenated result deltas in global update order. Each update's
+    /// delta group is in canonical row order.
+    pub fn process_batch(&mut self, updates: &[Update]) -> Vec<(Op, Composite)> {
+        let mut out = Vec::new();
+        for group in self.process_batch_grouped(updates) {
+            out.extend(group);
+        }
+        out
+    }
+
+    /// Like [`ShardedEngine::process_batch`] but keeps per-update grouping:
+    /// `result[i]` is the canonical delta list of `updates[i]`.
+    pub fn process_batch_grouped(&mut self, updates: &[Update]) -> Vec<Vec<(Op, Composite)>> {
+        if updates.is_empty() {
+            return Vec::new();
+        }
+        let n_shards = self.shards.len();
+        // Route: per-shard work lists of (global batch index, update).
+        let mut work: Vec<Vec<(usize, &Update)>> = vec![Vec::new(); n_shards];
+        for (gi, u) in updates.iter().enumerate() {
+            match self.router.route(u) {
+                Route::Shard(s) => {
+                    self.routing.routed += 1;
+                    work[s].push((gi, u));
+                }
+                Route::Broadcast => {
+                    self.routing.broadcast += 1;
+                    for w in &mut work {
+                        w.push((gi, u));
+                    }
+                }
+            }
+        }
+        // Execute every shard over its substream — scoped worker threads
+        // for real batches, inline for trivial ones. Both paths yield the
+        // same output (determinism does not depend on the schedule).
+        let per_shard: Vec<Vec<IndexedGroup>> =
+            if n_shards == 1 || updates.len() < INLINE_BATCH {
+                self.shards
+                    .iter_mut()
+                    .zip(&work)
+                    .map(|(eng, items)| run_shard(eng, items))
+                    .collect()
+            } else {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = self
+                        .shards
+                        .iter_mut()
+                        .zip(&work)
+                        .map(|(eng, items)| scope.spawn(move || run_shard(eng, items)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("shard worker panicked"))
+                        .collect()
+                })
+            };
+        // Deterministic merge back to global arrival order: k-way merge of
+        // the per-shard runs keyed by batch index (each run is sorted by
+        // construction), then canonical order within each update's group.
+        let merged = merge_ordered_runs(per_shard, |&(gi, _)| gi);
+        let mut out: Vec<Vec<(Op, Composite)>> = (0..updates.len()).map(|_| Vec::new()).collect();
+        for (gi, group) in merged {
+            out[gi].extend(group);
+        }
+        let n_rels = self.query.num_relations();
+        for group in &mut out {
+            canonicalize_group(group, n_rels);
+        }
+        out
+    }
+}
+
+fn run_shard(engine: &mut AdaptiveJoinEngine, items: &[(usize, &Update)]) -> Vec<IndexedGroup> {
+    items
+        .iter()
+        .map(|&(gi, u)| (gi, engine.process(u)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acq_mjoin::oracle::multiset_diff;
+    use acq_stream::TupleData;
+
+    fn ins(rel: u16, vals: &[i64], ts: u64) -> Update {
+        Update::insert(RelId(rel), TupleData::ints(vals), ts)
+    }
+
+    fn del(rel: u16, vals: &[i64], ts: u64) -> Update {
+        Update::delete(RelId(rel), TupleData::ints(vals), ts)
+    }
+
+    /// Simple deterministic workload over a query: inserts with occasional
+    /// deletes of live tuples, values in a small domain to force joins.
+    fn workload(query: &QuerySchema, seed: u64, len: usize) -> Vec<Update> {
+        let mut state = seed.max(1);
+        let mut rng = move |m: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % m
+        };
+        let n = query.num_relations() as u64;
+        let mut live: Vec<Vec<TupleData>> = vec![Vec::new(); n as usize];
+        let mut out = Vec::new();
+        for ts in 0..len as u64 {
+            let rel = rng(n) as usize;
+            let arity = query.relation(RelId(rel as u16)).arity();
+            if !live[rel].is_empty() && rng(4) == 0 {
+                let data = live[rel].remove(0);
+                out.push(Update::delete(RelId(rel as u16), data, ts));
+            } else {
+                let vals: Vec<i64> = (0..arity).map(|_| rng(5) as i64).collect();
+                let data = TupleData::ints(&vals);
+                live[rel].push(data.clone());
+                out.push(Update::insert(RelId(rel as u16), data, ts));
+            }
+        }
+        out
+    }
+
+    fn canon(group: &[(Op, Composite)], n: usize) -> Vec<(Op, Vec<TupleData>)> {
+        group
+            .iter()
+            .map(|(op, c)| (*op, canonical_rows(c, n)))
+            .collect()
+    }
+
+    #[test]
+    fn auto_class_prefers_widest_coverage() {
+        // Star: the single A class covers everything.
+        let q = QuerySchema::star(4);
+        assert_eq!(auto_partition_class(&q), Some(EquivClassId(0)));
+        // Chain3: A covers {R,S}, B covers {S,T} — tie, lower id wins.
+        let q = QuerySchema::chain3();
+        assert_eq!(auto_partition_class(&q), Some(EquivClassId(0)));
+    }
+
+    #[test]
+    fn star_has_no_broadcast_relations() {
+        let e = ShardedEngine::new(QuerySchema::star(4), 4);
+        assert!(e.broadcast_relations().is_empty());
+    }
+
+    #[test]
+    fn chain3_broadcasts_t() {
+        let e = ShardedEngine::new(QuerySchema::chain3(), 2);
+        assert_eq!(e.broadcast_relations(), vec![RelId(2)]);
+    }
+
+    #[test]
+    fn matches_single_engine_on_star() {
+        let q = QuerySchema::star(4);
+        let updates = workload(&q, 7, 400);
+        let mut single = AdaptiveJoinEngine::new(q.clone());
+        let mut sharded = ShardedEngine::new(q.clone(), 3);
+        let groups = sharded.process_batch_grouped(&updates);
+        for (u, got) in updates.iter().zip(&groups) {
+            let want = canon(&single.process(u), 4);
+            let got = canon(got, 4);
+            assert!(
+                multiset_diff(&got, &want).is_empty(),
+                "diverged on {u}: got {got:?} want {want:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_single_engine_with_broadcast() {
+        let q = QuerySchema::chain3();
+        let updates = workload(&q, 3, 400);
+        let mut single = AdaptiveJoinEngine::new(q.clone());
+        let mut sharded = ShardedEngine::new(q.clone(), 4);
+        let groups = sharded.process_batch_grouped(&updates);
+        assert!(sharded.routing_stats().broadcast > 0, "T must broadcast");
+        for (u, got) in updates.iter().zip(&groups) {
+            let want = canon(&single.process(u), 3);
+            let got = canon(got, 3);
+            assert!(
+                multiset_diff(&got, &want).is_empty(),
+                "diverged on {u}: got {got:?} want {want:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_output_is_bit_deterministic() {
+        let q = QuerySchema::star(4);
+        let updates = workload(&q, 11, 300);
+        let run = |shards: usize| {
+            let mut e = ShardedEngine::new(q.clone(), shards);
+            e.process_batch_grouped(&updates)
+                .iter()
+                .map(|g| canon(g, 4))
+                .collect::<Vec<_>>()
+        };
+        // Identical across repeated runs *and* shard counts — the per-group
+        // canonical order makes the merged output a pure function of input.
+        let base = run(2);
+        assert_eq!(base, run(2));
+        assert_eq!(base, run(4));
+    }
+
+    #[test]
+    fn single_shard_defers_to_inner_engine() {
+        let q = QuerySchema::chain3();
+        let mut sharded = ShardedEngine::new(q.clone(), 1);
+        let mut single = AdaptiveJoinEngine::new(q);
+        let ups = vec![
+            ins(0, &[1], 0),
+            ins(1, &[1, 2], 1),
+            ins(2, &[2], 2),
+            del(1, &[1, 2], 3),
+        ];
+        for u in &ups {
+            let mut want = single.process(u);
+            canonicalize_group(&mut want, 3);
+            let got = sharded.process(u);
+            assert_eq!(canon(&got, 3), canon(&want, 3));
+        }
+    }
+
+    #[test]
+    fn deletes_route_to_inserting_shard() {
+        // Insert then delete the same tuples; all shard windows must end
+        // empty (a mis-routed delete would leave a phantom tuple behind).
+        let q = QuerySchema::star(3);
+        let mut e = ShardedEngine::new(q.clone(), 4);
+        let mut ups = Vec::new();
+        for k in 0..50i64 {
+            ups.push(ins(0, &[k, 0], k as u64));
+        }
+        for k in 0..50i64 {
+            ups.push(del(0, &[k, 0], 50 + k as u64));
+        }
+        e.process_batch(&ups);
+        for s in e.shards() {
+            assert_eq!(s.core().relation(RelId(0)).len(), 0);
+        }
+    }
+
+    #[test]
+    fn clock_and_counter_aggregation() {
+        let q = QuerySchema::star(3);
+        let updates = workload(&q, 5, 200);
+        let mut e = ShardedEngine::new(q, 2);
+        e.process_batch(&updates);
+        let agg = e.clock_aggregate();
+        assert_eq!(agg.shards, 2);
+        assert!(agg.total_ns > 0);
+        assert!(agg.max_ns >= agg.min_ns);
+        let c = e.counters_aggregate();
+        // Star has no broadcast relations → every update processed once.
+        assert_eq!(c.tuples_processed, updates.len() as u64);
+        let rs = e.routing_stats();
+        assert_eq!(rs.routed, updates.len() as u64);
+        assert_eq!(rs.broadcast, 0);
+    }
+}

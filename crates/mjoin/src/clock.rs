@@ -136,6 +136,59 @@ impl VirtualClock {
     }
 }
 
+/// Aggregate of several executors' virtual clocks — the sharded engine's
+/// cost accounting. `total_ns` is the work performed across all shards
+/// (the single-engine-equivalent cost), `max_ns` the critical path (what a
+/// wall clock would see with perfect overlap), and their ratio measures
+/// load balance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClockAggregate {
+    /// Sum of all shards' virtual time.
+    pub total_ns: u64,
+    /// Slowest shard's virtual time (parallel critical path).
+    pub max_ns: u64,
+    /// Fastest shard's virtual time.
+    pub min_ns: u64,
+    /// Number of shards aggregated.
+    pub shards: usize,
+}
+
+impl ClockAggregate {
+    /// Aggregate a set of per-shard virtual times.
+    pub fn from_ns(times: impl IntoIterator<Item = u64>) -> ClockAggregate {
+        let mut agg = ClockAggregate::default();
+        for ns in times {
+            if agg.shards == 0 || ns < agg.min_ns {
+                agg.min_ns = ns;
+            }
+            agg.max_ns = agg.max_ns.max(ns);
+            agg.total_ns += ns;
+            agg.shards += 1;
+        }
+        agg
+    }
+
+    /// Total virtual work in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.total_ns as f64 / 1e9
+    }
+
+    /// Critical-path virtual time in seconds (the slowest shard).
+    pub fn critical_path_secs(&self) -> f64 {
+        self.max_ns as f64 / 1e9
+    }
+
+    /// Load-balance factor: slowest shard over the per-shard mean. 1.0 is
+    /// perfectly balanced; `shards as f64` means one shard did everything.
+    pub fn imbalance(&self) -> f64 {
+        if self.shards == 0 || self.total_ns == 0 {
+            return 1.0;
+        }
+        let mean = self.total_ns as f64 / self.shards as f64;
+        self.max_ns as f64 / mean
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +223,31 @@ mod tests {
             m.cache_update(5),
             m.cache_update_base + 5 * m.cache_update_per_tuple
         );
+    }
+
+    #[test]
+    fn clock_aggregate_stats() {
+        let agg = ClockAggregate::from_ns([100, 300, 200, 400]);
+        assert_eq!(agg.total_ns, 1000);
+        assert_eq!(agg.max_ns, 400);
+        assert_eq!(agg.min_ns, 100);
+        assert_eq!(agg.shards, 4);
+        assert!((agg.total_secs() - 1e-6).abs() < 1e-15);
+        assert!((agg.critical_path_secs() - 4e-7).abs() < 1e-15);
+        // mean 250, max 400 → imbalance 1.6
+        assert!((agg.imbalance() - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clock_aggregate_degenerate_cases() {
+        let empty = ClockAggregate::from_ns([]);
+        assert_eq!(empty.shards, 0);
+        assert_eq!(empty.total_ns, 0);
+        assert!((empty.imbalance() - 1.0).abs() < 1e-12);
+        let single = ClockAggregate::from_ns([42]);
+        assert_eq!(single.min_ns, 42);
+        assert_eq!(single.max_ns, 42);
+        assert!((single.imbalance() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod plan;
 pub mod stats;
 pub mod xjoin;
 
-pub use clock::{CostModel, VirtualClock};
+pub use clock::{ClockAggregate, CostModel, VirtualClock};
 pub use exec::JoinCore;
 pub use mjoin::MJoin;
 pub use ordering::GreedyOrderer;

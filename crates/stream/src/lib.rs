@@ -16,9 +16,9 @@ pub mod update;
 pub mod value;
 pub mod window;
 
-pub use merge::merge_by_timestamp;
+pub use merge::{merge_by_timestamp, merge_ordered_runs};
 pub use parse::{parse_query, ParseError};
-pub use schema::{AttrRef, ColId, JoinPredicate, QuerySchema, RelId, RelationSchema};
+pub use schema::{AttrRef, ColId, EquivClassId, JoinPredicate, QuerySchema, RelId, RelationSchema};
 pub use tuple::{Composite, StoredTuple, TupleData, TupleId, TupleRef};
 pub use update::{Op, StreamElement, Update};
 pub use value::Value;

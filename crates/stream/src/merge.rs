@@ -5,33 +5,85 @@
 //! needed.)"* [`merge_by_timestamp`] performs a stable k-way merge by
 //! timestamp, breaking ties by stream index (lower relation id first) and then
 //! by within-stream position, so the global order is deterministic.
+//!
+//! The underlying [`merge_ordered_runs`] is generic over element and key:
+//! the sharded executor reuses it to merge per-shard output-delta runs back
+//! into global update order with the same determinism guarantee.
 
 use crate::update::Update;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-struct HeapEntry {
-    ts: u64,
-    stream: usize,
-    pos: usize,
+/// One run's head element, keyed for the min-heap. At most one entry per run
+/// is in the heap at a time, so within-run order is preserved without an
+/// explicit position component; ties across runs break toward the lower run
+/// index.
+struct HeapEntry<T, K> {
+    key: K,
+    run: usize,
+    item: T,
 }
 
-impl PartialEq for HeapEntry {
+impl<T, K: Ord> PartialEq for HeapEntry<T, K> {
     fn eq(&self, other: &Self) -> bool {
         self.cmp(other) == Ordering::Equal
     }
 }
-impl Eq for HeapEntry {}
-impl PartialOrd for HeapEntry {
+impl<T, K: Ord> Eq for HeapEntry<T, K> {}
+impl<T, K: Ord> PartialOrd for HeapEntry<T, K> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for HeapEntry {
+impl<T, K: Ord> Ord for HeapEntry<T, K> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert for min-by-(ts, stream, pos).
-        (other.ts, other.stream, other.pos).cmp(&(self.ts, self.stream, self.pos))
+        // BinaryHeap is a max-heap; invert for min-by-(key, run).
+        (&other.key, other.run).cmp(&(&self.key, self.run))
     }
+}
+
+/// Stable k-way merge of runs already sorted by `key_of`: output is ordered
+/// by key, ties broken by run index then within-run position. Elements are
+/// moved, not cloned.
+///
+/// # Panics
+/// Panics (in debug builds) if an input run is not sorted by its keys.
+pub fn merge_ordered_runs<T, K, F>(runs: Vec<Vec<T>>, key_of: F) -> Vec<T>
+where
+    K: Ord,
+    F: Fn(&T) -> K,
+{
+    #[cfg(debug_assertions)]
+    for r in &runs {
+        debug_assert!(
+            r.windows(2).all(|w| key_of(&w[0]) <= key_of(&w[1])),
+            "input run not sorted by merge key"
+        );
+    }
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut iters: Vec<std::vec::IntoIter<T>> = runs.into_iter().map(Vec::into_iter).collect();
+    let mut heap = BinaryHeap::with_capacity(iters.len());
+    for (run, it) in iters.iter_mut().enumerate() {
+        if let Some(item) = it.next() {
+            heap.push(HeapEntry {
+                key: key_of(&item),
+                run,
+                item,
+            });
+        }
+    }
+    while let Some(HeapEntry { run, item, .. }) = heap.pop() {
+        out.push(item);
+        if let Some(next) = iters[run].next() {
+            heap.push(HeapEntry {
+                key: key_of(&next),
+                run,
+                item: next,
+            });
+        }
+    }
+    out
 }
 
 /// Merge per-stream update sequences (each already sorted by timestamp) into
@@ -40,37 +92,7 @@ impl Ord for HeapEntry {
 /// # Panics
 /// Panics (in debug builds) if an input sequence is not sorted by `ts`.
 pub fn merge_by_timestamp(streams: Vec<Vec<Update>>) -> Vec<Update> {
-    #[cfg(debug_assertions)]
-    for s in &streams {
-        debug_assert!(
-            s.windows(2).all(|w| w[0].ts <= w[1].ts),
-            "input stream not sorted by timestamp"
-        );
-    }
-    let total: usize = streams.iter().map(Vec::len).sum();
-    let mut out = Vec::with_capacity(total);
-    let mut heap = BinaryHeap::with_capacity(streams.len());
-    for (i, s) in streams.iter().enumerate() {
-        if let Some(u) = s.first() {
-            heap.push(HeapEntry {
-                ts: u.ts,
-                stream: i,
-                pos: 0,
-            });
-        }
-    }
-    while let Some(HeapEntry { stream, pos, .. }) = heap.pop() {
-        out.push(streams[stream][pos].clone());
-        let next = pos + 1;
-        if next < streams[stream].len() {
-            heap.push(HeapEntry {
-                ts: streams[stream][next].ts,
-                stream,
-                pos: next,
-            });
-        }
-    }
-    out
+    merge_ordered_runs(streams, |u| u.ts)
 }
 
 #[cfg(test)]
@@ -130,5 +152,26 @@ mod tests {
         let merged = merge_by_timestamp(streams);
         assert_eq!(merged.len(), 4000);
         assert!(merged.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn generic_merge_over_non_update_runs() {
+        // The sharded executor's use case: (global index, payload) runs.
+        let runs = vec![
+            vec![(0u64, "a"), (3, "d"), (5, "f")],
+            vec![(1u64, "b"), (2, "c"), (4, "e")],
+        ];
+        let merged = merge_ordered_runs(runs, |&(i, _)| i);
+        let order: String = merged.iter().map(|&(_, s)| s).collect();
+        assert_eq!(order, "abcdef");
+    }
+
+    #[test]
+    fn generic_merge_is_stable_across_runs() {
+        // Equal keys: run 0 wins, then run 1, preserving within-run order.
+        let runs = vec![vec![(7u64, "x1"), (7, "x2")], vec![(7u64, "y1")]];
+        let merged = merge_ordered_runs(runs, |&(i, _)| i);
+        let order: Vec<&str> = merged.iter().map(|&(_, s)| s).collect();
+        assert_eq!(order, vec!["x1", "x2", "y1"]);
     }
 }

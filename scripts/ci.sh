@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Repo CI: build, test, lint. All dependencies are vendored in-tree
+# (vendor/), so this runs fully offline; --offline keeps cargo from
+# touching the network at all. Clippy is optional tooling — skip
+# gracefully where the component is not installed.
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+run() {
+  echo "==> $*"
+  "$@"
+}
+
+fail=0
+
+run cargo build --release --offline --workspace || fail=1
+run cargo test -q --offline --workspace || fail=1
+
+if cargo clippy --version >/dev/null 2>&1; then
+  run cargo clippy --offline --workspace --all-targets -- -D warnings || fail=1
+else
+  echo "==> cargo clippy not installed; skipping lint"
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "CI FAILED"
+  exit 1
+fi
+echo "CI OK"

@@ -1,0 +1,187 @@
+//! Offline in-tree shim for the subset of the `criterion` 0.5 API this
+//! workspace uses. The build environment has no registry access, so the
+//! workspace vendors this instead of the real crate.
+//!
+//! Behavior: each benchmark runs a short warmup, then a fixed number of
+//! timed batches, and prints the minimum ns/iter (the minimum is robust to
+//! scheduler noise). No statistics, plots, or baselines — just enough to
+//! keep `cargo bench` working and give order-of-magnitude numbers.
+
+use std::time::Instant;
+
+/// Top-level driver handed to benchmark functions.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 30,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", &id.into(), self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.into(), self.sample_size, &mut f);
+        self
+    }
+
+    /// End the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, samples: usize, f: &mut F) {
+    let mut b = Bencher {
+        iters: 1,
+        elapsed_ns: 0.0,
+    };
+    // Warmup + iteration-count calibration: grow until one sample takes
+    // ≥ ~2ms or we hit a cap, so cheap ops get enough iterations to time.
+    loop {
+        b.elapsed_ns = 0.0;
+        f(&mut b);
+        if b.elapsed_ns >= 2_000_000.0 || b.iters >= 1 << 20 {
+            break;
+        }
+        b.iters *= 8;
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        b.elapsed_ns = 0.0;
+        f(&mut b);
+        best = best.min(b.elapsed_ns / b.iters as f64);
+    }
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    eprintln!("  {label}: {best:.1} ns/iter ({} iters/sample)", b.iters);
+}
+
+/// Passed to each benchmark closure; runs and times the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine` over the calibrated iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos() as f64;
+    }
+
+    /// Time `routine` with a fresh `setup()` input per iteration; setup time
+    /// is excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed_ns += start.elapsed().as_nanos() as f64;
+        }
+    }
+}
+
+/// Batch sizing hint (ignored by the shim).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Opaque value barrier, re-exported for convenience.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_machinery_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        let mut count = 0u64;
+        g.bench_function("iter", |b| b.iter(|| count += 1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| 3u64, |x| x * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+}

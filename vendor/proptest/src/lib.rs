@@ -1,0 +1,530 @@
+//! Offline in-tree shim for the subset of the `proptest` 1.x API this
+//! workspace uses. The build environment has no registry access, so the
+//! workspace vendors this instead of the real crate.
+//!
+//! Scope: seeded random generation of strategy values and a `proptest!`
+//! macro that runs each property for `Config::cases` deterministic cases.
+//! There is **no shrinking** — a failing case panics with its case index so
+//! it can be replayed (seeds derive from the test's module path + name, so
+//! failures are stable across runs and machines). `prop_assert!` maps to
+//! `assert!`. Supported strategy constructors: integer / float ranges,
+//! tuples up to arity 6, `prop_map`, weighted and unweighted `prop_oneof!`,
+//! `collection::vec`, and `collection::btree_set`.
+
+/// Deterministic RNG + per-test configuration.
+pub mod test_runner {
+    /// Mirror of `proptest::test_runner::Config` (the fields this workspace
+    /// sets). Re-exported from [`crate::prelude`] as `ProptestConfig`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+        /// Accepted for API compatibility; the shim never shrinks.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// xoshiro256++ seeded through SplitMix64; one instance per test case.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl TestRng {
+        /// RNG for case number `case` of a test whose base seed is `seed`.
+        pub fn for_case(seed: u64, case: u64) -> TestRng {
+            let mut sm = seed ^ case.wrapping_mul(0xA076_1D64_78BD_642F);
+            TestRng {
+                s: [
+                    splitmix(&mut sm),
+                    splitmix(&mut sm),
+                    splitmix(&mut sm),
+                    splitmix(&mut sm),
+                ],
+            }
+        }
+
+        /// Next uniform 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform f64 in [0, 1).
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform usize in `[lo, hi)`.
+        pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+            assert!(lo < hi, "empty size range");
+            lo + (self.next_u64() as usize) % (hi - lo)
+        }
+    }
+
+    /// Stable base seed for a test, derived from its fully qualified name
+    /// (FNV-1a) so failures replay identically across runs.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Prints the failing case index when a property panics, since the shim
+    /// cannot shrink. Replay by running the same test binary again — seeds
+    /// are deterministic.
+    pub struct CaseReporter {
+        /// Case index this guard covers.
+        pub case: u32,
+        /// Test name for the report.
+        pub name: &'static str,
+    }
+
+    impl Drop for CaseReporter {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                eprintln!(
+                    "proptest-shim: property `{}` failed at case {} (deterministic; rerun to replay)",
+                    self.name, self.case
+                );
+            }
+        }
+    }
+}
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// Type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Weighted union of boxed strategies (backs `prop_oneof!`).
+    pub struct OneOf<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> OneOf<T> {
+        /// Build from `(weight, strategy)` arms; weights must not all be 0.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> OneOf<T> {
+            let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof: zero total weight");
+            OneOf { arms, total }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.next_u64() % self.total;
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weights exhausted")
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    ((self.start as i128) + v as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128).wrapping_sub(lo as i128) as u128 + 1;
+                    let v = (rng.next_u64() as u128) % span;
+                    ((lo as i128) + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($n:ident),+))*) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($n,)+) = self;
+                    ($($n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+/// `vec` / `btree_set` collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+
+    /// Inclusive-exclusive size bound accepted by the collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.usize_in(self.lo, self.hi)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// `Vec` of values from `element`, with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Result of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `BTreeSet` of distinct values from `element`, with size drawn from
+    /// `size` (best-effort when the element domain is nearly exhausted, like
+    /// the real crate).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Result of [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target.saturating_mul(50) + 100 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Glob-import surface matching `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Run a block of `#[test]` property functions, each for `cases` random
+/// deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let __seed = $crate::test_runner::seed_for(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for __case in 0..__config.cases {
+                let __reporter = $crate::test_runner::CaseReporter {
+                    case: __case,
+                    name: stringify!($name),
+                };
+                let mut __rng = $crate::test_runner::TestRng::for_case(__seed, __case as u64);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                // The closure returns false when `prop_assume!` discards the
+                // case (the shim does not regenerate discarded cases).
+                #[allow(clippy::redundant_closure_call)]
+                let __accepted: bool = (move || {
+                    $body
+                    true
+                })();
+                let _ = __accepted;
+                drop(__reporter);
+            }
+        }
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+}
+
+/// Weighted (`w => strat`) or unweighted union of strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Assertion inside a property; the shim simply panics (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Discard the current case when the precondition does not hold. Usable only
+/// inside a `proptest!` body (expands to an early `return false` from the
+/// per-case closure); the shim does not regenerate discarded cases.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return false;
+        }
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::for_case(1, 0);
+        for _ in 0..500 {
+            let v = (0i64..10).generate(&mut rng);
+            assert!((0..10).contains(&v));
+            let (a, b, c) = (0u16..4, 0i64..6, 1.0f64..2.0).generate(&mut rng);
+            assert!(a < 4 && (0..6).contains(&b) && (1.0..2.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn vec_and_btree_set_respect_sizes() {
+        let mut rng = TestRng::for_case(2, 0);
+        for _ in 0..200 {
+            let v = crate::collection::vec(0i64..100, 3..7).generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+            let fixed = crate::collection::vec(0i64..100, 5usize).generate(&mut rng);
+            assert_eq!(fixed.len(), 5);
+            let s = crate::collection::btree_set(0i64..40, 1..30).generate(&mut rng);
+            assert!(!s.is_empty() && s.len() < 30);
+        }
+    }
+
+    #[test]
+    fn oneof_weighted_mix() {
+        let mut rng = TestRng::for_case(3, 0);
+        let s = prop_oneof![
+            3 => (0i64..1).prop_map(|_| true),
+            1 => (0i64..1).prop_map(|_| false),
+        ];
+        let trues = (0..4000).filter(|_| s.generate(&mut rng)).count();
+        assert!((2600..3400).contains(&trues), "3:1 mix gave {trues}/4000");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_binds_multiple_args(
+            xs in crate::collection::vec(0i64..50, 1..20),
+            k in 1u64..5,
+        ) {
+            prop_assert!(!xs.is_empty());
+            prop_assert_eq!(k < 5, true);
+        }
+    }
+}
