@@ -8,7 +8,7 @@
 //! the paper's ratio (MJoin ÷ cached).
 
 use acq::engine::{AdaptiveJoinEngine, CacheMode, EngineConfig};
-use acq_bench::report::{write_csv, Table};
+use acq_bench::report::{write_csv, write_snapshot, Table};
 use acq_bench::runner::{run_engine, run_mjoin};
 use acq_gen::spec::chain3_default;
 use acq_mjoin::mjoin::MJoin;
@@ -45,6 +45,7 @@ fn main() {
     let mut mjoin_rates = Vec::new();
     let mut ratios = Vec::new();
     let mut hit_fracs = Vec::new();
+    let mut last_snapshot = None;
 
     for &r in &rs {
         let updates = chain3_default(r, window, 0xF160 + r).generate(total);
@@ -62,6 +63,7 @@ fn main() {
         let mut mjoin = MJoin::new(q.clone(), orders());
         let sm = run_mjoin(&mut mjoin, &updates, 0.2);
 
+        last_snapshot = Some(engine.telemetry_snapshot());
         cached_rates.push(sc.rate);
         mjoin_rates.push(sm.rate);
         ratios.push(sm.rate / sc.rate);
@@ -84,6 +86,10 @@ fn main() {
     t.push_series("observed hit frac", hit_fracs);
     print!("{}", t.render());
     if let Some(p) = write_csv(&t, "fig06_hit_prob") {
+        eprintln!("wrote {}", p.display());
+    }
+    // Snapshot of the last (r = 10, highest hit probability) run.
+    if let Some(p) = last_snapshot.and_then(|s| write_snapshot(&s, "fig06_hit_prob")) {
         eprintln!("wrote {}", p.display());
     }
 }

@@ -12,7 +12,7 @@
 
 use acq::engine::{AdaptiveJoinEngine, CacheMode, EngineConfig, ReoptInterval, SelectionStrategy};
 use acq::EnumerationConfig;
-use acq_bench::report::{write_csv, Table};
+use acq_bench::report::{write_csv, write_snapshot, Table};
 use acq_gen::column::ColumnGen;
 use acq_gen::spec::{Burst, StreamSpec, Workload};
 use acq_mjoin::plan::{PipelineOrder, PlanOrders};
@@ -184,6 +184,12 @@ fn main() {
     );
     print!("{}", t.render());
     if let Some(p) = write_csv(&t, "fig12_adaptivity") {
+        eprintln!("wrote {}", p.display());
+    }
+    // Telemetry of the adaptive run: the cache lifecycle (scored → added →
+    // hits/misses → dropped/retained) across the rate burst, virtual-time
+    // stamped — the end-to-end adaptivity trace.
+    if let Some(p) = write_snapshot(&e3.telemetry_snapshot(), "fig12_adaptivity") {
         eprintln!("wrote {}", p.display());
     }
 }

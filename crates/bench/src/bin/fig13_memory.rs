@@ -10,7 +10,7 @@
 use acq::engine::AdaptiveJoinEngine;
 use acq::MemoryConfig;
 use acq_bench::plans::{best_mjoin_orders, config_g, make_stats};
-use acq_bench::report::{write_csv, Table};
+use acq_bench::report::{write_csv, write_snapshot, Table};
 use acq_bench::runner::{run_engine, run_mjoin, run_xjoin};
 use acq_gen::table2::sample_point;
 use acq_mjoin::mjoin::MJoin;
@@ -41,6 +41,7 @@ fn main() {
     ];
     let mut adaptive_rates = Vec::new();
     let mut adaptive_mem = Vec::new();
+    let mut last_snapshot = None;
     for (i, &kb) in budgets_kb.iter().enumerate() {
         let cfg = acq::engine::EngineConfig {
             memory: MemoryConfig {
@@ -59,6 +60,11 @@ fn main() {
         );
         adaptive_rates.push(s.rate);
         adaptive_mem.push(e.cache_memory_bytes() as f64 / 1024.0);
+        last_snapshot = Some(e.telemetry_snapshot());
+    }
+    // Snapshot of the largest-budget run (memory.granted_bytes per group).
+    if let Some(p) = last_snapshot.and_then(|s| write_snapshot(&s, "fig13_memory")) {
+        eprintln!("wrote {}", p.display());
     }
 
     let mut t = Table::new(

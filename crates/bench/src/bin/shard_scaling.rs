@@ -11,7 +11,7 @@
 //! virtual clocks precisely to be machine-independent (see
 //! `acq-mjoin::clock`); for the sharded executor the elapsed clock is the
 //! **parallel critical path** — the slowest shard's virtual time
-//! ([`ClockAggregate::max_ns`]) — since shards run concurrently and the
+//! (`ClockAggregate::max_ns`) — since shards run concurrently and the
 //! merge completes when the last one does. Speedup is therefore
 //! `single-engine virtual time / critical-path virtual time`, which equals
 //! shard count divided by load imbalance. Host wall-clock seconds are also
@@ -24,7 +24,7 @@
 
 use acq::engine::{AdaptiveJoinEngine, EngineConfig, ReoptInterval, SelectionStrategy};
 use acq::shard::{canonicalize_group, ShardConfig, ShardedEngine};
-use acq_bench::report::{write_csv, Table};
+use acq_bench::report::{write_csv, write_snapshot, Table};
 use acq_gen::column::ColumnGen;
 use acq_gen::spec::{StreamSpec, Workload};
 use acq_mjoin::oracle::canonical_rows;
@@ -121,6 +121,9 @@ struct Measured {
     /// Updates per elapsed virtual second.
     rate: f64,
     imbalance: f64,
+    /// End-of-run telemetry: the engine's snapshot, or the canonical
+    /// cross-shard merge for the sharded executor.
+    snapshot: acq::TelemetrySnapshot,
 }
 
 fn run_single(q: &QuerySchema, updates: &[Update]) -> Measured {
@@ -139,6 +142,7 @@ fn run_single(q: &QuerySchema, updates: &[Update]) -> Measured {
         host_wall_secs: wall,
         rate: updates.len() as f64 / vsecs,
         imbalance: 1.0,
+        snapshot: e.telemetry_snapshot(),
     }
 }
 
@@ -166,6 +170,7 @@ fn run_sharded(q: &QuerySchema, updates: &[Update], shards: usize) -> Measured {
         host_wall_secs: wall,
         rate: updates.len() as f64 / agg.critical_path_secs(),
         imbalance: agg.imbalance(),
+        snapshot: e.telemetry_snapshot(),
     }
 }
 
@@ -199,6 +204,17 @@ fn main() {
     for &s in &shard_counts {
         let m = run_sharded(&q, &updates, s);
         let speedup = m.rate / base.rate;
+        // Cross-shard merged telemetry for the headline 4-shard point; the
+        // single-engine snapshot rides along for counter comparison (the
+        // star query routes every update, so counter totals must match).
+        if s == 4 {
+            if let Some(p) = write_snapshot(&m.snapshot, "shard_scaling_4shard") {
+                eprintln!("wrote {}", p.display());
+            }
+            if let Some(p) = write_snapshot(&base.snapshot, "shard_scaling_single") {
+                eprintln!("wrote {}", p.display());
+            }
+        }
         println!(
             "{s} shards: critical path {:.2} virtual s, total work {:.2} virtual s \
              ({:.2} host wall s) → {:.0} t/s ({speedup:.2}x, imbalance {:.2})",

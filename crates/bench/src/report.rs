@@ -103,6 +103,32 @@ pub fn write_csv(table: &Table, file_stem: &str) -> Option<std::path::PathBuf> {
     }
 }
 
+/// Write a telemetry snapshot as `EXPERIMENTS_OUTPUT/<file_stem>.telemetry.json`
+/// (and echo its aligned-text rendering to stderr when `ACQ_TELEMETRY_TEXT`
+/// is set), returning the path written. Same failure policy as
+/// [`write_csv`]: the CSV/console output remains the primary artifact.
+pub fn write_snapshot(
+    snapshot: &acq::TelemetrySnapshot,
+    file_stem: &str,
+) -> Option<std::path::PathBuf> {
+    let dir = Path::new("EXPERIMENTS_OUTPUT");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {dir:?}: {e}");
+        return None;
+    }
+    if std::env::var_os("ACQ_TELEMETRY_TEXT").is_some() {
+        eprintln!("{}", snapshot.render_text());
+    }
+    let path = dir.join(format!("{file_stem}.telemetry.json"));
+    match std::fs::write(&path, snapshot.to_json()) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("warning: cannot write {path:?}: {e}");
+            None
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -117,6 +117,32 @@ impl CacheStats {
             Some(self.misses as f64 / total as f64)
         }
     }
+
+    /// Fold another stats block into this one (component-wise sum).
+    ///
+    /// The engine's telemetry keeps a per-group accumulator so statistics
+    /// survive `reset_stats` epochs and store drops; this is the fold.
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.creates += other.creates;
+        self.collisions += other.collisions;
+        self.maintenance_applied += other.maintenance_applied;
+        self.maintenance_ignored += other.maintenance_ignored;
+    }
+
+    /// Emit these stats into a snapshot as `store.*` counters labelled with
+    /// the shared-group id.
+    pub fn snapshot_into(&self, s: &mut acq_telemetry::TelemetrySnapshot, group: usize) {
+        let g = group.to_string();
+        let labels: [(&str, &str); 1] = [("group", &g)];
+        s.counter("store.hits", &labels, self.hits);
+        s.counter("store.misses", &labels, self.misses);
+        s.counter("store.creates", &labels, self.creates);
+        s.counter("store.collisions", &labels, self.collisions);
+        s.counter("store.maintenance_applied", &labels, self.maintenance_applied);
+        s.counter("store.maintenance_ignored", &labels, self.maintenance_ignored);
+    }
 }
 
 /// Set-associative cache store (paper §3.3).

@@ -69,6 +69,22 @@ impl BenefitCost {
         self.benefit - self.cost
     }
 
+    /// Emit this triple into a snapshot as `{prefix}.benefit`,
+    /// `{prefix}.cost`, `{prefix}.proc`, and `{prefix}.net` ratios (over a
+    /// denominator of 1, so a cross-shard merge yields the per-shard
+    /// average of these intensive unit-time quantities).
+    pub fn snapshot_into(
+        &self,
+        s: &mut acq_telemetry::TelemetrySnapshot,
+        prefix: &str,
+        labels: &[(&str, &str)],
+    ) {
+        s.ratio(&format!("{prefix}.benefit"), labels, self.benefit, 1.0);
+        s.ratio(&format!("{prefix}.cost"), labels, self.cost, 1.0);
+        s.ratio(&format!("{prefix}.proc"), labels, self.proc, 1.0);
+        s.ratio(&format!("{prefix}.net"), labels, self.net(), 1.0);
+    }
+
     /// Largest relative change of any component versus `other` — drives the
     /// §4.5(c) re-optimization trigger (`p = 20%` by default).
     pub fn max_relative_change(&self, other: &BenefitCost) -> f64 {

@@ -33,19 +33,21 @@
 //! Figure 12 plan), so we trade a little maintenance work for correctness —
 //! see DESIGN.md.
 
-use crate::cache::CacheStore;
+use crate::cache::{CacheStats, CacheStore};
 use crate::candidates::{enumerate_candidates, Candidate, EnumerationConfig};
 use crate::cost::{benefit_cost, BenefitCost, CandidateEstimates};
 use crate::memory::{allocate, buckets_for, Allocation, MemoryConfig, MemoryRequest};
 use crate::profiler::{Profiler, ProfilerConfig};
 use crate::select::{self, CacheChoice, SelectionInstance};
 use acq_mjoin::exec::JoinCore;
+use acq_mjoin::metrics::PipelineMetrics;
 use acq_mjoin::ordering::GreedyOrderer;
 use acq_mjoin::plan::{CompiledOp, PlanOrders};
 use acq_mjoin::stats::OnlineStats;
 use acq_sketch::bloom::MissProbEstimator;
 use acq_sketch::WindowStat;
 use acq_stream::{Composite, Op, QuerySchema, RelId, Update, Value};
+use acq_telemetry::{Event, EventLog, Histogram, TelemetrySnapshot};
 
 /// Which offline selection algorithm the Re-optimizer runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -172,6 +174,15 @@ struct CandRuntime {
     /// grants a warmup grace period — early probes of an empty store miss by
     /// construction and say nothing about steady-state benefit.
     used_since_ns: u64,
+    /// Lifetime probe hits while used (survives re-optimizations; reset only
+    /// when plan orders change and candidates are re-enumerated).
+    hits: u64,
+    /// Lifetime probe misses while used.
+    misses: u64,
+    /// Virtual ns spent servicing hits (probe + splice).
+    hit_ns: u64,
+    /// Virtual ns spent servicing misses (probe + segment run + create).
+    miss_ns: u64,
 }
 
 /// One maintenance tap: feed segment deltas of `group` at a pipeline
@@ -247,6 +258,31 @@ pub enum AdaptivityEvent {
 /// Maximum retained adaptivity events (oldest dropped beyond this).
 const MAX_EVENTS: usize = 512;
 
+/// Typed per-candidate diagnostics, replacing the old stringly
+/// [`AdaptiveJoinEngine::diagnostics`] output. One entry per enumerated
+/// candidate cache, in enumeration order.
+#[derive(Debug, Clone)]
+pub struct CandidateDiagnostics {
+    /// Candidate name, e.g. `C[∆R2: R0⋈R1 @0..1]`.
+    pub name: String,
+    /// Current lifecycle state (§4.5).
+    pub state: CacheState,
+    /// Is the hosting pipeline's profiler warm enough to estimate?
+    pub warm: bool,
+    /// Windowed miss-probability estimate, `None` until observed.
+    pub miss_prob: Option<f64>,
+    /// `d_ij`: tuples per unit time reaching the segment's first operator.
+    pub d_in: f64,
+    /// `Σ d_il·c_il`: unit-time processing the segment costs uncached.
+    pub seg_proc: f64,
+    /// Current §4.1 benefit/cost estimate, `None` until statistics warm up.
+    pub benefit_cost: Option<BenefitCost>,
+    /// Lifetime probe hits while this candidate was used.
+    pub hits: u64,
+    /// Lifetime probe misses while this candidate was used.
+    pub misses: u64,
+}
+
 /// The adaptive stream-join engine.
 #[derive(Debug)]
 pub struct AdaptiveJoinEngine {
@@ -279,6 +315,18 @@ pub struct AdaptiveJoinEngine {
     scratch_key: Vec<Value>,
     /// Bounded adaptivity event log.
     events: std::collections::VecDeque<AdaptivityEvent>,
+    /// Per-pipeline operator metrics (telemetry; reset when orders change).
+    op_metrics: Vec<PipelineMetrics>,
+    /// Store statistics accumulated across stat epochs and store drops, one
+    /// per shared group — [`CacheStore::reset_stats`] starts a new epoch, so
+    /// totals for the snapshot live here.
+    group_stats: Vec<CacheStats>,
+    /// Bytes granted per group at the last §5 allocation round.
+    granted_bytes: Vec<usize>,
+    /// Distribution of result-delta counts per processed update.
+    out_hist: Histogram,
+    /// Structured telemetry event log (virtual-time stamped).
+    tlog: EventLog,
 }
 
 impl AdaptiveJoinEngine {
@@ -333,6 +381,11 @@ impl AdaptiveJoinEngine {
             scratch_next: Vec::new(),
             scratch_key: Vec::new(),
             events: std::collections::VecDeque::new(),
+            op_metrics: num_ops.iter().map(|&k| PipelineMetrics::new(k)).collect(),
+            group_stats: Vec::new(),
+            granted_bytes: Vec::new(),
+            out_hist: Histogram::new(),
+            tlog: EventLog::default(),
             config,
         };
         engine.rebuild_candidates();
@@ -420,6 +473,10 @@ impl AdaptiveJoinEngine {
             enumerate_candidates(self.core.query(), &self.orders, &self.config.enumeration);
         self.group_count = crate::candidates::num_groups(&candidates);
         self.stores = (0..self.group_count).map(|_| None).collect();
+        // Group ids are only meaningful within one candidate enumeration, so
+        // accumulated store stats and grants restart with the new groups.
+        self.group_stats = vec![CacheStats::default(); self.group_count];
+        self.granted_bytes = vec![0; self.group_count];
         self.cands = candidates
             .into_iter()
             .map(|cand| CandRuntime {
@@ -430,6 +487,10 @@ impl AdaptiveJoinEngine {
                 bc_at_selection: None,
                 bc_now: None,
                 used_since_ns: 0,
+                hits: 0,
+                misses: 0,
+                hit_ns: 0,
+                miss_ns: 0,
             })
             .collect();
         self.rebuild_plans();
@@ -498,10 +559,13 @@ impl AdaptiveJoinEngine {
         }
         // Drop stores of inactive groups; create stores of newly active ones
         // happen in apply_selection (they need sizing); forced mode created
-        // them directly.
+        // them directly. Stats of a dropped store fold into the group
+        // accumulator so snapshot totals survive the drop.
         for (g, used) in group_used.iter().enumerate() {
             if !used {
-                self.stores[g] = None;
+                if let Some(store) = self.stores[g].take() {
+                    self.group_stats[g].absorb(&store.stats());
+                }
             }
         }
 
@@ -602,6 +666,7 @@ impl AdaptiveJoinEngine {
             .record_size(u.rel, self.core.relation(u.rel).len());
 
         let pi = u.rel.0 as usize;
+        self.op_metrics[pi].record_update();
         // Move this pipeline's plan out of `self` for the duration of the
         // update: the executor borrows taps/bloom/lookup tables directly
         // instead of cloning them per update. Restored before
@@ -620,6 +685,7 @@ impl AdaptiveJoinEngine {
 
         self.core.charge_outputs(outputs.len());
         self.counters.outputs_emitted += outputs.len() as u64;
+        self.out_hist.record(outputs.len() as u64);
         self.maybe_housekeeping();
         outputs.into_iter().map(|c| (u.op, c)).collect()
     }
@@ -714,9 +780,11 @@ impl AdaptiveJoinEngine {
                     );
                 }
             }
+            let dt = self.core.now_ns() - t0;
             if profiled {
-                profile_rec.push((in_count as f64, self.core.now_ns() - t0));
+                profile_rec.push((in_count as f64, dt));
             }
+            self.op_metrics[pi].record_op(j, in_count as u64, next.len() as u64, dt);
             std::mem::swap(&mut frontier, &mut next);
             self.scratch_next = next;
             self.scratch_next.clear();
@@ -760,8 +828,11 @@ impl AdaptiveJoinEngine {
         let mut out = Vec::new();
         let mut hits = 0u64;
         let mut misses = 0u64;
+        let mut hit_ns = 0u64;
+        let mut miss_ns = 0u64;
 
         for c in frontier {
+            let t0 = self.core.now_ns();
             key.clear();
             key.extend(
                 key_attrs
@@ -780,6 +851,7 @@ impl AdaptiveJoinEngine {
                     for v in &values {
                         out.push(c.concat(v));
                     }
+                    hit_ns += self.core.now_ns() - t0;
                 }
                 None => {
                     misses += 1;
@@ -811,6 +883,7 @@ impl AdaptiveJoinEngine {
                     }
                     self.core.charge(create_cost);
                     out.extend(seg_frontier);
+                    miss_ns += self.core.now_ns() - t0;
                 }
             }
         }
@@ -823,6 +896,10 @@ impl AdaptiveJoinEngine {
         self.cands[ci].cand.segment = segment;
         self.counters.cache_hits += hits;
         self.counters.cache_misses += misses;
+        self.cands[ci].hits += hits;
+        self.cands[ci].misses += misses;
+        self.cands[ci].hit_ns += hit_ns;
+        self.cands[ci].miss_ns += miss_ns;
         (end, out)
     }
 
@@ -986,6 +1063,9 @@ impl AdaptiveJoinEngine {
                     if let Some(mp) = s.miss_prob() {
                         self.cands[ci].miss_window.push(mp);
                     }
+                    // Fold the epoch into the group accumulator before the
+                    // reset so telemetry totals span all epochs.
+                    self.group_stats[g].absorb(&s);
                     store.reset_stats();
                 }
             }
@@ -1006,6 +1086,11 @@ impl AdaptiveJoinEngine {
                         self.cands[ci].state = CacheState::Unused;
                         self.counters.demotions += 1;
                         let name = self.cands[ci].cand.name();
+                        self.tlog.push(
+                            Event::new(now, "cache.dropped", &name)
+                                .field("reason", "demoted")
+                                .field("net", bc.net()),
+                        );
                         self.log_event(AdaptivityEvent::Demoted {
                             at_ns: now,
                             cache: name,
@@ -1086,6 +1171,7 @@ impl AdaptiveJoinEngine {
             {
                 self.set_orders(fresh);
                 self.counters.reorderings += 1;
+                self.tlog.push(Event::new(now, "plan.reordered", ""));
                 self.log_event(AdaptivityEvent::Reordered { at_ns: now });
                 return; // fresh candidates need profiling before selection
             }
@@ -1116,10 +1202,27 @@ impl AdaptiveJoinEngine {
                 _ => false,
             });
         if !drifted {
+            self.tlog.push(
+                Event::new(now, "selection.skipped", "")
+                    .field("effective_p", effective_p)
+                    .field("fruitless_streak", self.fruitless_streak as u64),
+            );
             return;
         }
         self.counters.reoptimizations += 1;
         self.core.charge(self.core.cost_model().reoptimize);
+
+        // Decision trace: every candidate the selector will score.
+        for (cr, e) in self.cands.iter().zip(&est) {
+            let Some(bc) = e else { continue };
+            self.tlog.push(
+                Event::new(now, "cache.scored", cr.cand.name())
+                    .field("benefit", bc.benefit)
+                    .field("cost", bc.cost)
+                    .field("net", bc.net())
+                    .field("miss_prob", cr.miss_window.average().unwrap_or(1.0)),
+            );
+        }
 
         // Build the selection instance over estimable candidates.
         let op_proc: Vec<Vec<f64>> = self
@@ -1152,6 +1255,16 @@ impl AdaptiveJoinEngine {
             choices,
             group_cost,
         };
+        let solver = match self.config.selection {
+            SelectionStrategy::Auto => {
+                select::auto_solver_name(&instance, self.config.exhaustive_limit)
+            }
+            SelectionStrategy::Exhaustive => select::exhaustive::NAME,
+            SelectionStrategy::Greedy => select::greedy::NAME,
+            SelectionStrategy::Recursive => select::recursive::NAME,
+            SelectionStrategy::Randomized(_) => select::randomized::NAME,
+            SelectionStrategy::Incremental => select::incremental::NAME,
+        };
         let sol = match self.config.selection {
             SelectionStrategy::Auto => select::solve_auto(&instance, self.config.exhaustive_limit),
             SelectionStrategy::Exhaustive => select::solve_exhaustive(&instance),
@@ -1171,6 +1284,13 @@ impl AdaptiveJoinEngine {
                 select::solve_incremental(&instance, &warm)
             }
         };
+        self.tlog.push(
+            Event::new(now, "selection.run", "")
+                .field("solver", solver)
+                .field("candidates", instance.choices.len() as u64)
+                .field("chosen", sol.len() as u64)
+                .field("objective", instance.net_objective(&sol)),
+        );
         let mut chosen: Vec<usize> = sol.iter().map(|&s| instance.choices[s].id).collect();
 
         // Tap-conflict fixpoint: a used cache must not cover another active
@@ -1206,7 +1326,13 @@ impl AdaptiveJoinEngine {
                 }
             }
             match conflict {
-                Some(x) => chosen.retain(|&c| c != x),
+                Some(x) => {
+                    self.tlog.push(
+                        Event::new(now, "cache.dropped", self.cands[x].cand.name())
+                            .field("reason", "tap_conflict"),
+                    );
+                    chosen.retain(|&c| c != x);
+                }
                 None => break,
             }
         }
@@ -1272,6 +1398,7 @@ impl AdaptiveJoinEngine {
         for a in grants {
             granted[a.id] = a.bytes;
         }
+        self.granted_bytes.clone_from(&granted);
         // Convert byte grants into budget-respecting bucket counts (each
         // bucket costs its array slot plus the expected entry footprint).
         let slot = std::mem::size_of::<Option<crate::cache::CacheEntry>>();
@@ -1288,19 +1415,51 @@ impl AdaptiveJoinEngine {
             .collect();
 
         // Transition: chosen (with memory) → Used; everything else →
-        // Profiled with fresh estimators.
+        // Profiled with fresh estimators. Each transition leaves a
+        // lifecycle event in the telemetry log.
+        let now = self.core.now_ns();
         let mut used_any = vec![false; self.group_count];
         for ci in 0..self.cands.len() {
             let g = self.cands[ci].cand.group;
+            let was_used = self.cands[ci].state == CacheState::Used;
             let is_chosen = chosen.contains(&ci) && group_buckets[g] > 0;
             if is_chosen {
-                if self.cands[ci].state != CacheState::Used {
-                    self.cands[ci].used_since_ns = self.core.now_ns();
+                let bc = self.cands[ci].bc_now.unwrap_or_default();
+                if !was_used {
+                    self.cands[ci].used_since_ns = now;
+                    self.tlog.push(
+                        Event::new(now, "cache.added", self.cands[ci].cand.name())
+                            .field("benefit", bc.benefit)
+                            .field("cost", bc.cost)
+                            .field("granted_bytes", granted[g] as u64),
+                    );
+                } else {
+                    self.tlog.push(
+                        Event::new(now, "cache.retained", self.cands[ci].cand.name())
+                            .field("net", bc.net()),
+                    );
                 }
                 self.cands[ci].state = CacheState::Used;
                 self.cands[ci].bc_at_selection = self.cands[ci].bc_now;
                 used_any[g] = true;
             } else {
+                if was_used {
+                    self.tlog.push(
+                        Event::new(now, "cache.dropped", self.cands[ci].cand.name()).field(
+                            "reason",
+                            if chosen.contains(&ci) {
+                                "no_memory"
+                            } else {
+                                "deselected"
+                            },
+                        ),
+                    );
+                } else if chosen.contains(&ci) {
+                    self.tlog.push(
+                        Event::new(now, "cache.dropped", self.cands[ci].cand.name())
+                            .field("reason", "no_memory"),
+                    );
+                }
                 self.cands[ci].state = CacheState::Profiled;
                 self.cands[ci].bc_at_selection = self.cands[ci].bc_now;
                 self.cands[ci].miss_est = self.profiler.new_miss_estimator();
@@ -1324,8 +1483,8 @@ impl AdaptiveJoinEngine {
                         ))
                     }
                 }
-            } else {
-                self.stores[g] = None;
+            } else if let Some(store) = self.stores[g].take() {
+                self.group_stats[g].absorb(&store.stats());
             }
         }
         self.rebuild_plans();
@@ -1337,6 +1496,12 @@ impl AdaptiveJoinEngine {
         orders.validate(self.core.query()).expect("invalid plan");
         self.orders = orders;
         self.recompile();
+        self.op_metrics = self
+            .orders
+            .pipelines
+            .iter()
+            .map(|p| PipelineMetrics::new(p.order.len()))
+            .collect();
         for (i, p) in self.orders.pipelines.iter().enumerate() {
             self.profiler.reset_pipeline(RelId(i as u16), p.order.len());
         }
@@ -1365,30 +1530,109 @@ impl AdaptiveJoinEngine {
     /// Per-candidate diagnostics: state, key statistics, and the current
     /// benefit/cost estimate. Observability API for operators, experiments,
     /// and debugging — not on the hot path.
-    pub fn diagnostics(&self) -> Vec<String> {
+    pub fn candidate_diagnostics(&self) -> Vec<CandidateDiagnostics> {
         self.cands
             .iter()
             .enumerate()
             .map(|(ci, cr)| {
                 let c = &cr.cand;
                 let i = c.pipeline;
-                let warm = self.profiler.pipeline_warm(i);
-                let miss = cr.miss_window.average();
-                let d_in = self.profiler.d(i, c.start);
-                let seg_proc: f64 = (c.start..=c.end).map(|j| self.profiler.op_proc(i, j)).sum();
-                let bc = self.estimate(ci);
+                CandidateDiagnostics {
+                    name: c.name(),
+                    state: cr.state,
+                    warm: self.profiler.pipeline_warm(i),
+                    miss_prob: cr.miss_window.average(),
+                    d_in: self.profiler.d(i, c.start),
+                    seg_proc: (c.start..=c.end).map(|j| self.profiler.op_proc(i, j)).sum(),
+                    benefit_cost: self.estimate(ci),
+                    hits: cr.hits,
+                    misses: cr.misses,
+                }
+            })
+            .collect()
+    }
+
+    /// Stringly-typed diagnostics, kept so existing callers compile.
+    #[deprecated(note = "use candidate_diagnostics() for typed data")]
+    pub fn diagnostics(&self) -> Vec<String> {
+        self.candidate_diagnostics()
+            .iter()
+            .map(|d| {
                 format!(
                     "{} state={:?} warm={} miss={:?} d_in={:.1} seg_proc={:.0} bc={:?}",
-                    c.name(),
-                    cr.state,
-                    warm,
-                    miss,
-                    d_in,
-                    seg_proc,
-                    bc
+                    d.name, d.state, d.warm, d.miss_prob, d.d_in, d.seg_proc, d.benefit_cost
                 )
             })
             .collect()
+    }
+
+    /// Capture the engine's full telemetry state: counters, per-operator and
+    /// per-candidate metrics, store statistics, memory grants, profiler
+    /// estimates, and the structured adaptivity event trace. Not on the hot
+    /// path — allocates freely.
+    ///
+    /// Metric names and labels are documented in `OBSERVABILITY.md`. The
+    /// snapshot is self-contained: sharded engines merge per-shard snapshots
+    /// with [`TelemetrySnapshot::merge`].
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let mut s = TelemetrySnapshot::new();
+        s.counter("engine.tuples_processed", &[], self.counters.tuples_processed);
+        s.counter("engine.outputs_emitted", &[], self.counters.outputs_emitted);
+        s.counter("engine.cache_hits", &[], self.counters.cache_hits);
+        s.counter("engine.cache_misses", &[], self.counters.cache_misses);
+        s.counter("engine.reoptimizations", &[], self.counters.reoptimizations);
+        s.counter("engine.demotions", &[], self.counters.demotions);
+        s.counter("engine.reorderings", &[], self.counters.reorderings);
+        s.counter("engine.virtual_ns", &[], self.core.now_ns());
+        s.ratio(
+            "engine.rate",
+            &[],
+            self.counters.tuples_processed as f64,
+            self.core.now_secs(),
+        );
+        s.histogram("engine.outputs_per_update", &[], &self.out_hist);
+        s.gauge("memory.cache_bytes", &[], self.cache_memory_bytes() as f64);
+        crate::memory::snapshot_allocations(&mut s, &self.granted_bytes);
+        for (pi, pm) in self.op_metrics.iter().enumerate() {
+            pm.snapshot_into(&mut s, pi);
+        }
+        self.profiler.snapshot_into(&mut s);
+        for cr in &self.cands {
+            let name = cr.cand.name();
+            let labels: [(&str, &str); 1] = [("cache", name.as_str())];
+            s.counter("cache.hits", &labels, cr.hits);
+            s.counter("cache.misses", &labels, cr.misses);
+            s.counter("cache.hit_ns", &labels, cr.hit_ns);
+            s.counter("cache.miss_ns", &labels, cr.miss_ns);
+            let state = match cr.state {
+                CacheState::Used => "used",
+                CacheState::Profiled => "profiled",
+                CacheState::Unused => "unused",
+            };
+            s.gauge("cache.state", &[("cache", name.as_str()), ("state", state)], 1.0);
+            if let Some(m) = cr.miss_window.average() {
+                s.ratio("cache.miss_prob", &labels, m, 1.0);
+            }
+            if let Some(bc) = cr.bc_now {
+                bc.snapshot_into(&mut s, "cache.current", &labels);
+            }
+            if let Some(bc) = cr.bc_at_selection {
+                bc.snapshot_into(&mut s, "cache.predicted", &labels);
+            }
+        }
+        for g in 0..self.group_count {
+            let mut st = self.group_stats[g];
+            if let Some(store) = self.stores[g].as_ref() {
+                st.absorb(&store.stats());
+                let gl = g.to_string();
+                s.gauge("store.memory_bytes", &[("group", &gl)], store.memory_bytes() as f64);
+                s.gauge("store.buckets", &[("group", &gl)], store.num_buckets() as f64);
+                s.gauge("store.entries", &[("group", &gl)], store.len() as f64);
+            }
+            st.snapshot_into(&mut s, g);
+        }
+        s.extend_events(self.tlog.iter().cloned(), self.tlog.dropped());
+        s
     }
 
     /// Force an immediate re-optimization (tests, experiments).

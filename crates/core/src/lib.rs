@@ -42,6 +42,12 @@
 //! (pipelines, the virtual cost clock, A-Greedy ordering, the XJoin
 //! baseline), `acq-sketch` (Bloom filters, W-window statistics), `acq-lp`
 //! (the simplex solver behind randomized rounding).
+//!
+//! Observability: every engine exposes a structured
+//! [`acq_telemetry::TelemetrySnapshot`] (metrics + virtual-time event trace);
+//! the metric namespace is documented in `OBSERVABILITY.md` at the repo root.
+
+#![warn(missing_docs)]
 
 pub mod cache;
 pub mod candidates;
@@ -57,11 +63,12 @@ pub use cache::{CacheStats, CacheStore};
 pub use candidates::{enumerate_candidates, is_prefix_set, Candidate, EnumerationConfig};
 pub use cost::{benefit_cost, BenefitCost, CandidateEstimates};
 pub use engine::{
-    AdaptiveJoinEngine, AdaptivityEvent, CacheMode, CacheState, EngineConfig, EngineCounters,
-    ReoptInterval, SelectionStrategy,
+    AdaptiveJoinEngine, AdaptivityEvent, CacheMode, CacheState, CandidateDiagnostics, EngineConfig,
+    EngineCounters, ReoptInterval, SelectionStrategy,
 };
 pub use memory::{allocate, Allocation, MemoryConfig, MemoryRequest};
 pub use profiler::{Profiler, ProfilerConfig};
 pub use select::{SelectionInstance, Solution};
 pub use shard::{auto_partition_class, canonicalize_group, RoutingStats, ShardConfig, ShardedEngine};
 pub use stream_join::{StreamJoin, StreamJoinBuilder, WindowSpec};
+pub use acq_telemetry::TelemetrySnapshot;

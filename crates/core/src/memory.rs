@@ -109,6 +109,19 @@ pub fn allocate(config: &MemoryConfig, requests: &[MemoryRequest]) -> Vec<Alloca
     out
 }
 
+/// Emit the most recent allocation round into a snapshot:
+/// `memory.granted_bytes{group}` gauges plus the `memory.granted_total`
+/// gauge (extensive quantities — a cross-shard merge sums them).
+pub fn snapshot_allocations(s: &mut acq_telemetry::TelemetrySnapshot, granted_bytes: &[usize]) {
+    let mut total = 0usize;
+    for (g, &bytes) in granted_bytes.iter().enumerate() {
+        let gl = g.to_string();
+        s.gauge("memory.granted_bytes", &[("group", &gl)], bytes as f64);
+        total += bytes;
+    }
+    s.gauge("memory.granted_total", &[], total as f64);
+}
+
 /// Convert a byte grant into a bucket count for a [`crate::cache::CacheStore`]:
 /// bytes divided by an estimated per-entry footprint, at least one bucket.
 pub fn buckets_for(bytes: usize, est_entry_bytes: usize) -> usize {

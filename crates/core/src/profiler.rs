@@ -190,6 +190,33 @@ impl Profiler {
     pub fn new_miss_estimator(&self) -> MissProbEstimator {
         MissProbEstimator::new(self.config.bloom_window, self.config.bloom_alpha)
     }
+
+    /// Emit the profiler's current estimates into a snapshot.
+    ///
+    /// Per pipeline `i`: `profiler.rate` (gauge, updates per virtual second
+    /// — extensive, sums across shards) and `profiler.warm` (ratio of warm
+    /// pipelines). Per position `j`: `profiler.d` (the paper's `d_ij`, as a
+    /// ratio over the shard count so a cross-shard merge averages it) and
+    /// `profiler.c` (the paper's `c_ij = Σd_j / Σδ_j`, merged component-wise
+    /// so the quotient stays a properly weighted per-tuple cost).
+    pub fn snapshot_into(&self, s: &mut acq_telemetry::TelemetrySnapshot) {
+        let mut warm = 0u64;
+        for (i, p) in self.pipelines.iter().enumerate() {
+            let rel = RelId(i as u16);
+            let pl = i.to_string();
+            s.gauge("profiler.rate", &[("pipeline", &pl)], self.rates[i]);
+            if self.pipeline_warm(rel) {
+                warm += 1;
+            }
+            for j in 0..p.delta.len() {
+                let pos = j.to_string();
+                let labels: [(&str, &str); 2] = [("pipeline", &pl), ("pos", &pos)];
+                s.ratio("profiler.d", &labels, self.d(rel, j), 1.0);
+                s.ratio("profiler.c", &labels, p.tau[j].sum(), p.delta[j].sum());
+            }
+        }
+        s.ratio("profiler.warm", &[], warm as f64, self.pipelines.len() as f64);
+    }
 }
 
 #[cfg(test)]

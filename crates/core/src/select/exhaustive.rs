@@ -13,6 +13,9 @@
 
 use super::{SelectionInstance, Solution};
 
+/// Solver name reported in selection traces and telemetry events.
+pub const NAME: &str = "exhaustive";
+
 /// Exact maximizer of `Σ benefit − Σ group costs` over nonoverlapping
 /// subsets.
 ///

@@ -19,6 +19,9 @@
 
 use super::{SelectionInstance, Solution};
 
+/// Solver name reported in selection traces and telemetry events.
+pub const NAME: &str = "greedy";
+
 /// Greedy O(log n) approximation.
 pub fn solve_greedy(instance: &SelectionInstance) -> Solution {
     let num_groups = instance.group_cost.len();

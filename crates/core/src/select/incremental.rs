@@ -17,6 +17,9 @@
 
 use super::{SelectionInstance, Solution};
 
+/// Solver name reported in selection traces and telemetry events.
+pub const NAME: &str = "incremental";
+
 /// Maximum improvement rounds (each strictly improves the objective, so this
 /// is a safety bound, not a tuning knob).
 const MAX_ROUNDS: usize = 200;

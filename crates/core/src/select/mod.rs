@@ -201,6 +201,19 @@ pub fn solve_auto(instance: &SelectionInstance, exhaustive_limit: usize) -> Solu
     }
 }
 
+/// The solver [`solve_auto`] would dispatch to for this instance — used by
+/// the engine's selection trace so `selection.run` events name the concrete
+/// algorithm, not "auto".
+pub fn auto_solver_name(instance: &SelectionInstance, exhaustive_limit: usize) -> &'static str {
+    if !instance.has_sharing() {
+        recursive::NAME
+    } else if instance.choices.len() <= exhaustive_limit {
+        exhaustive::NAME
+    } else {
+        greedy::NAME
+    }
+}
+
 #[cfg(test)]
 pub(crate) mod testutil {
     use super::*;

@@ -16,6 +16,9 @@
 //! `B = d·c` and `L = 0`.
 
 use super::{SelectionInstance, Solution};
+
+/// Solver name reported in selection traces and telemetry events.
+pub const NAME: &str = "randomized";
 use acq_lp::{LinearProgram, LpResult};
 
 /// Deterministic xorshift64* generator so rounding is reproducible.

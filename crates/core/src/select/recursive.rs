@@ -13,6 +13,9 @@
 
 use super::{SelectionInstance, Solution};
 
+/// Solver name reported in selection traces and telemetry events.
+pub const NAME: &str = "recursive";
+
 /// Solve by per-pipeline containment-forest dynamic programming.
 ///
 /// # Panics

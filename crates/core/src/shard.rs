@@ -36,6 +36,7 @@
 
 use crate::engine::{AdaptiveJoinEngine, EngineConfig, EngineCounters};
 use acq_mjoin::clock::ClockAggregate;
+use acq_telemetry::{FieldValue, TelemetrySnapshot};
 use acq_mjoin::oracle::canonical_rows;
 use acq_mjoin::plan::PlanOrders;
 use acq_stream::{
@@ -269,6 +270,28 @@ impl ShardedEngine {
             agg.reorderings += c.reorderings;
         }
         agg
+    }
+
+    /// The canonical cross-shard telemetry merge, mirroring the delta-run
+    /// merge: each shard's [`AdaptiveJoinEngine::telemetry_snapshot`] is
+    /// taken, its events are stamped with a `shard` field, and the parts
+    /// are folded with [`TelemetrySnapshot::merge`] — counters and
+    /// histograms sum, ratios merge component-wise (so intensive
+    /// quantities stay weighted averages), and events interleave in
+    /// virtual-time order. Counter totals are therefore invariant to the
+    /// shard count for routed-only workloads. Routing counters and the
+    /// shard count ride along as `routing.*` / `shard.count`.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let mut merged = TelemetrySnapshot::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let mut part = shard.telemetry_snapshot();
+            part.tag_events("shard", FieldValue::U64(i as u64));
+            merged.merge(&part);
+        }
+        merged.gauge("shard.count", &[], self.shards.len() as f64);
+        merged.counter("routing.routed", &[], self.routing.routed);
+        merged.counter("routing.broadcast", &[], self.routing.broadcast);
+        merged
     }
 
     // ------------------------------------------------------------------

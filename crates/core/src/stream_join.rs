@@ -168,6 +168,12 @@ impl StreamJoin {
         out
     }
 
+    /// Capture the underlying engine's telemetry (see
+    /// [`AdaptiveJoinEngine::telemetry_snapshot`]).
+    pub fn telemetry_snapshot(&self) -> acq_telemetry::TelemetrySnapshot {
+        self.engine.telemetry_snapshot()
+    }
+
     /// The underlying engine (statistics, used caches, diagnostics).
     pub fn engine(&self) -> &AdaptiveJoinEngine {
         &self.engine

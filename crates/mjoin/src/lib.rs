@@ -17,6 +17,9 @@
 //! * [`exec`] — [`exec::JoinCore`]: relation stores + query graph + clock;
 //!   the single-operator `probe_join` primitive that MJoin, XJoin, and the
 //!   A-Caching engine all drive.
+//! * [`metrics`] — per-pipeline / per-operator execution metrics
+//!   ([`metrics::OpStats`], [`metrics::PipelineMetrics`]) shared by every
+//!   executor, exportable into `acq-telemetry` snapshots.
 //! * [`mjoin`] — the plain MJoin executor [`mjoin::MJoin`] (baseline `M`).
 //! * [`ordering`] — A-Greedy–style adaptive join ordering (reference \[5\] of
 //!   the paper), used by both MJoin and A-Caching plans.
@@ -25,8 +28,11 @@
 //! * [`oracle`] — a naive full-recomputation oracle used by tests to verify
 //!   that every executor produces exactly the correct output delta multiset.
 
+#![warn(missing_docs)]
+
 pub mod clock;
 pub mod exec;
+pub mod metrics;
 pub mod mjoin;
 pub mod oracle;
 pub mod ordering;
@@ -36,6 +42,7 @@ pub mod xjoin;
 
 pub use clock::{ClockAggregate, CostModel, VirtualClock};
 pub use exec::JoinCore;
+pub use metrics::{OpStats, PipelineMetrics};
 pub use mjoin::MJoin;
 pub use ordering::GreedyOrderer;
 pub use plan::{CompiledOp, PipelineOrder, PlanOrders};

@@ -11,22 +11,14 @@
 //! characteristics drift.
 
 use crate::exec::JoinCore;
+use crate::metrics::PipelineMetrics;
 use crate::ordering::GreedyOrderer;
 use crate::plan::{CompiledOp, PlanOrders};
 use crate::stats::OnlineStats;
 use acq_stream::{Composite, Op, QuerySchema, RelId, Update};
+use acq_telemetry::TelemetrySnapshot;
 
-/// Per-operator execution statistics (the raw material for the paper's
-/// `d_ij` / `c_ij` estimates).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct OpStats {
-    /// Tuples that entered this operator.
-    pub tuples_in: u64,
-    /// Tuples the operator produced.
-    pub tuples_out: u64,
-    /// Virtual nanoseconds spent in the operator.
-    pub cost_ns: u64,
-}
+pub use crate::metrics::OpStats;
 
 /// Plain MJoin executor.
 #[derive(Debug)]
@@ -34,7 +26,7 @@ pub struct MJoin {
     core: JoinCore,
     orders: PlanOrders,
     compiled: Vec<Vec<CompiledOp>>,
-    op_stats: Vec<Vec<OpStats>>,
+    metrics: Vec<PipelineMetrics>,
     online: OnlineStats,
     tuples_processed: u64,
     outputs_emitted: u64,
@@ -54,16 +46,16 @@ impl MJoin {
     pub fn from_core(core: JoinCore, orders: PlanOrders) -> MJoin {
         let n = core.query().num_relations();
         let compiled = Self::compile_all(&core, &orders);
-        let op_stats = compiled
+        let metrics = compiled
             .iter()
-            .map(|ops| vec![OpStats::default(); ops.len()])
+            .map(|ops| PipelineMetrics::new(ops.len()))
             .collect();
         MJoin {
             online: OnlineStats::new(n, 10, 0.01),
             core,
             orders,
             compiled,
-            op_stats,
+            metrics,
             tuples_processed: 0,
             outputs_emitted: 0,
             reorder_count: 0,
@@ -95,7 +87,7 @@ impl MJoin {
 
     /// Per-operator statistics for stream `r`.
     pub fn op_stats(&self, r: RelId) -> &[OpStats] {
-        &self.op_stats[r.0 as usize]
+        &self.metrics[r.0 as usize].ops
     }
 
     /// The online workload-statistics collector.
@@ -108,11 +100,9 @@ impl MJoin {
     pub fn set_orders(&mut self, orders: PlanOrders) {
         orders.validate(self.core.query()).expect("invalid plan");
         self.compiled = Self::compile_all(&self.core, &orders);
-        self.op_stats = self
-            .compiled
-            .iter()
-            .map(|ops| vec![OpStats::default(); ops.len()])
-            .collect();
+        for (pm, ops) in self.metrics.iter_mut().zip(self.compiled.iter()) {
+            pm.reset(ops.len());
+        }
         self.orders = orders;
         self.reorder_count += 1;
     }
@@ -149,6 +139,28 @@ impl MJoin {
         }
     }
 
+    /// A point-in-time [`TelemetrySnapshot`]: executor counters
+    /// (`engine.*`), the processing-rate ratio, and per-pipeline /
+    /// per-operator metrics (`pipeline.*`, `op.*`). See OBSERVABILITY.md
+    /// for the namespace.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let mut s = TelemetrySnapshot::new();
+        s.counter("engine.tuples_processed", &[], self.tuples_processed);
+        s.counter("engine.outputs_emitted", &[], self.outputs_emitted);
+        s.counter("engine.reorderings", &[], self.reorder_count);
+        s.counter("engine.virtual_ns", &[], self.core.now_ns());
+        s.ratio(
+            "engine.rate",
+            &[],
+            self.tuples_processed as f64,
+            self.core.now_secs(),
+        );
+        for (pi, pm) in self.metrics.iter().enumerate() {
+            pm.snapshot_into(&mut s, pi);
+        }
+        s
+    }
+
     /// Process one update through its pipeline; returns the result deltas.
     pub fn process(&mut self, u: &Update) -> Vec<(Op, Composite)> {
         self.tuples_processed += 1;
@@ -160,6 +172,7 @@ impl MJoin {
             .record_size(u.rel, self.core.relation(u.rel).len());
 
         let pipeline = u.rel.0 as usize;
+        self.metrics[pipeline].record_update();
         let ops = &self.compiled[pipeline];
         let mut frontier = vec![Composite::unit(tref)];
         let mut next: Vec<Composite> = Vec::new();
@@ -189,10 +202,12 @@ impl MJoin {
                     );
                 }
             }
-            let st = &mut self.op_stats[pipeline][j];
-            st.tuples_in += in_count;
-            st.tuples_out += next.len() as u64;
-            st.cost_ns += self.core.now_ns() - t0;
+            self.metrics[pipeline].record_op(
+                j,
+                in_count,
+                next.len() as u64,
+                self.core.now_ns() - t0,
+            );
             std::mem::swap(&mut frontier, &mut next);
         }
 

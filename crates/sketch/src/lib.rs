@@ -13,6 +13,8 @@
 //!   statistic is the average of its `W` most recent measurements", Table 1),
 //!   rate estimators, and exponentially weighted moving averages.
 
+#![warn(missing_docs)]
+
 pub mod bloom;
 pub mod fx;
 pub mod stats;

@@ -1,0 +1,193 @@
+//! Structured event log with virtual-time timestamps.
+//!
+//! Events capture *decisions* (a cache scored, added, dropped; a plan
+//! reordered) rather than continuous measurements. Each carries the
+//! engine's virtual-time stamp, a static `kind`, a `subject` (usually a
+//! candidate/cache name), and a small list of typed fields. The log is
+//! bounded: once full, the oldest events are discarded and counted in
+//! [`EventLog::dropped`].
+
+/// A typed value attached to an [`Event`] field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// An unsigned integer (counts, byte sizes, virtual durations).
+    U64(u64),
+    /// A floating-point quantity (benefits, costs, probabilities).
+    F64(f64),
+    /// A short free-form string (reasons, solver names).
+    Str(String),
+    /// A boolean flag.
+    Bool(bool),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> FieldValue {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> FieldValue {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> FieldValue {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> FieldValue {
+        FieldValue::Str(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> FieldValue {
+        FieldValue::Bool(v)
+    }
+}
+
+/// One structured event at a point in virtual time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Virtual-time timestamp in nanoseconds (the engine's cost clock).
+    pub at_ns: u64,
+    /// Static event kind, e.g. `"cache.added"` or `"selection.run"`.
+    pub kind: &'static str,
+    /// What the event is about — typically a candidate name such as
+    /// `C[∆R2: R0⋈R1 @0..1]`, or empty for engine-wide events.
+    pub subject: String,
+    /// Typed key/value payload.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Event {
+    /// Build an event with no fields.
+    pub fn new(at_ns: u64, kind: &'static str, subject: impl Into<String>) -> Event {
+        Event {
+            at_ns,
+            kind,
+            subject: subject.into(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Attach a field (builder style).
+    pub fn field(mut self, key: &'static str, value: impl Into<FieldValue>) -> Event {
+        self.fields.push((key, value.into()));
+        self
+    }
+
+    /// Look up a field value by key.
+    pub fn get(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+/// A bounded in-memory event log.
+///
+/// Appends are O(1); when the capacity is exceeded the oldest entry is
+/// evicted and counted. Within one engine (one virtual clock), appends
+/// arrive in non-decreasing `at_ns` order, so the log is always sorted.
+#[derive(Debug, Clone)]
+pub struct EventLog {
+    events: std::collections::VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// A log holding at most `capacity` events (clamped to at least 1).
+    pub fn new(capacity: usize) -> EventLog {
+        EventLog {
+            events: std::collections::VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Append an event, evicting the oldest if the log is full.
+    pub fn push(&mut self, event: Event) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted so far because the log was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Remove and return all retained events, oldest first.
+    pub fn drain(&mut self) -> Vec<Event> {
+        self.events.drain(..).collect()
+    }
+}
+
+impl Default for EventLog {
+    /// A log with a 4096-event capacity.
+    fn default() -> EventLog {
+        EventLog::new(4096)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_builder_and_lookup() {
+        let e = Event::new(42, "cache.added", "C[x]")
+            .field("benefit", 1.5)
+            .field("bytes", 4096u64)
+            .field("reason", "selected")
+            .field("warm", true);
+        assert_eq!(e.at_ns, 42);
+        assert_eq!(e.get("bytes"), Some(&FieldValue::U64(4096)));
+        assert_eq!(e.get("warm"), Some(&FieldValue::Bool(true)));
+        assert_eq!(e.get("nope"), None);
+    }
+
+    #[test]
+    fn log_bounds_and_counts_drops() {
+        let mut log = EventLog::new(2);
+        for i in 0..5u64 {
+            log.push(Event::new(i, "tick", ""));
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 3);
+        let kept: Vec<u64> = log.iter().map(|e| e.at_ns).collect();
+        assert_eq!(kept, vec![3, 4], "oldest evicted first");
+    }
+
+    #[test]
+    fn drain_empties_but_keeps_drop_count() {
+        let mut log = EventLog::new(8);
+        log.push(Event::new(1, "a", ""));
+        log.push(Event::new(2, "b", ""));
+        let drained = log.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 0);
+    }
+}

@@ -1,0 +1,624 @@
+//! Point-in-time telemetry snapshots: named metrics plus an event trace,
+//! with JSON / aligned-text renderers and an associative cross-shard merge.
+
+use crate::event::{Event, FieldValue};
+use crate::metric::{Histogram, HISTOGRAM_BUCKETS};
+
+/// The value carried by one [`Metric`] in a snapshot.
+///
+/// The variant determines merge semantics (see
+/// [`TelemetrySnapshot::merge`]): counters, gauges, and histograms sum;
+/// ratios merge component-wise so the quotient stays meaningful after a
+/// cross-shard merge.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic count; merges by summation.
+    Counter(u64),
+    /// Extensive instantaneous value (bytes, entries); merges by summation.
+    Gauge(f64),
+    /// An intensive quantity kept as `num / den` (probability, per-tuple
+    /// cost, rate). Merging sums numerators and denominators separately,
+    /// which makes the merge associative and keeps the quotient a properly
+    /// weighted average.
+    Ratio {
+        /// Numerator (e.g. misses, total τ, tuple count).
+        num: f64,
+        /// Denominator (e.g. probes, total δ, elapsed virtual seconds).
+        den: f64,
+    },
+    /// Log-scale distribution; merges bucket-wise.
+    Histogram {
+        /// Per-bucket counts, indexed as in [`Histogram::bucket_of`].
+        buckets: Vec<u64>,
+        /// Total number of samples.
+        count: u64,
+        /// Sum of all samples.
+        sum: u64,
+    },
+}
+
+impl MetricValue {
+    /// Render the value the way [`TelemetrySnapshot::render_text`] does.
+    pub fn display(&self) -> String {
+        match self {
+            MetricValue::Counter(v) => format!("{v}"),
+            MetricValue::Gauge(v) => format!("{v:.3}"),
+            MetricValue::Ratio { num, den } => {
+                if *den == 0.0 {
+                    format!("-/- ({num:.1}/{den:.1})")
+                } else {
+                    format!("{:.4} ({num:.1}/{den:.1})", num / den)
+                }
+            }
+            MetricValue::Histogram { count, sum, .. } => {
+                let mean = if *count == 0 {
+                    0.0
+                } else {
+                    *sum as f64 / *count as f64
+                };
+                format!("count={count} sum={sum} mean={mean:.1}")
+            }
+        }
+    }
+
+    /// The ratio's quotient, or `None` for other variants / zero
+    /// denominators.
+    pub fn as_ratio(&self) -> Option<f64> {
+        match self {
+            MetricValue::Ratio { num, den } if *den != 0.0 => Some(num / den),
+            _ => None,
+        }
+    }
+}
+
+/// One named, labelled measurement inside a [`TelemetrySnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Dotted metric name, e.g. `"cache.hits"` (see OBSERVABILITY.md for
+    /// the namespace).
+    pub name: String,
+    /// Label pairs qualifying the series, e.g. `("cache", "C[…]")`.
+    /// Order-insensitive for identity: labels are sorted on insertion.
+    pub labels: Vec<(String, String)>,
+    /// The measured value.
+    pub value: MetricValue,
+}
+
+impl Metric {
+    fn key(&self) -> (&str, &[(String, String)]) {
+        (&self.name, &self.labels)
+    }
+}
+
+/// A point-in-time view of a component's telemetry: a flat list of
+/// [`Metric`]s plus a bounded [`Event`] trace.
+///
+/// Snapshots from different shards (or different components of one engine)
+/// combine with [`TelemetrySnapshot::merge`], which is associative, so an
+/// N-shard merged snapshot is canonical regardless of merge order or shard
+/// count for counter totals.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    metrics: Vec<Metric>,
+    events: Vec<Event>,
+    /// Events evicted from bounded logs before the snapshot was taken.
+    events_dropped: u64,
+}
+
+impl TelemetrySnapshot {
+    /// An empty snapshot.
+    pub fn new() -> TelemetrySnapshot {
+        TelemetrySnapshot::default()
+    }
+
+    fn sorted_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Add or overwrite a metric with an explicit [`MetricValue`].
+    pub fn set(&mut self, name: &str, labels: &[(&str, &str)], value: MetricValue) {
+        let labels = TelemetrySnapshot::sorted_labels(labels);
+        if let Some(m) = self
+            .metrics
+            .iter_mut()
+            .find(|m| m.name == name && m.labels == labels)
+        {
+            m.value = value;
+        } else {
+            self.metrics.push(Metric {
+                name: name.to_string(),
+                labels,
+                value,
+            });
+        }
+    }
+
+    /// Add a counter metric.
+    pub fn counter(&mut self, name: &str, labels: &[(&str, &str)], v: u64) {
+        self.set(name, labels, MetricValue::Counter(v));
+    }
+
+    /// Add a gauge metric.
+    pub fn gauge(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.set(name, labels, MetricValue::Gauge(v));
+    }
+
+    /// Add a ratio metric (`num / den` with component-wise merge).
+    pub fn ratio(&mut self, name: &str, labels: &[(&str, &str)], num: f64, den: f64) {
+        self.set(name, labels, MetricValue::Ratio { num, den });
+    }
+
+    /// Add a histogram metric from a live [`Histogram`].
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], h: &Histogram) {
+        self.set(
+            name,
+            labels,
+            MetricValue::Histogram {
+                buckets: h.buckets().to_vec(),
+                count: h.count(),
+                sum: h.sum(),
+            },
+        );
+    }
+
+    /// Append one event to the trace (kept in push order; callers push in
+    /// virtual-time order).
+    pub fn push_event(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    /// Append a batch of events plus the count evicted before snapshot.
+    pub fn extend_events(&mut self, events: impl IntoIterator<Item = Event>, dropped: u64) {
+        self.events.extend(events);
+        self.events_dropped += dropped;
+    }
+
+    /// Stamp every event in this snapshot with an extra field (e.g. tag a
+    /// per-shard snapshot with `shard=N` before the cross-shard merge).
+    /// Events that already carry `key` are left untouched.
+    pub fn tag_events(&mut self, key: &'static str, value: FieldValue) {
+        for e in &mut self.events {
+            if e.get(key).is_none() {
+                e.fields.push((key, value.clone()));
+            }
+        }
+    }
+
+    /// All metrics, in insertion order.
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
+    }
+
+    /// The event trace, in virtual-time order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Events evicted from bounded logs before this snapshot was taken.
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped
+    }
+
+    /// Look up a metric by name and exact label set.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricValue> {
+        let labels = TelemetrySnapshot::sorted_labels(labels);
+        self.metrics
+            .iter()
+            .find(|m| m.name == name && m.labels == labels)
+            .map(|m| &m.value)
+    }
+
+    /// Sum of all `Counter` metrics with this name, across label sets.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|m| m.name == name)
+            .map(|m| match m.value {
+                MetricValue::Counter(v) => v,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Events of a given kind, in order.
+    pub fn events_of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a Event> + 'a {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Merge another snapshot into this one.
+    ///
+    /// Metrics with the same `(name, labels)` key combine by variant:
+    /// counters, gauges, and histograms sum; ratios sum numerator and
+    /// denominator separately. Metrics present on one side only are kept
+    /// as-is, so the operation is associative and commutative up to metric
+    /// ordering — counter totals are invariant to how work is split across
+    /// shards.
+    ///
+    /// Event traces are stable-merged by `at_ns` (ties keep `self` first),
+    /// which is associative because each input is already sorted.
+    ///
+    /// # Panics
+    /// If the same key carries different metric variants on the two sides
+    /// (a wiring bug, not a runtime condition).
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        for om in &other.metrics {
+            if let Some(m) = self.metrics.iter_mut().find(|m| m.key() == om.key()) {
+                match (&mut m.value, &om.value) {
+                    (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                    (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a += b,
+                    (
+                        MetricValue::Ratio { num: an, den: ad },
+                        MetricValue::Ratio { num: bn, den: bd },
+                    ) => {
+                        *an += bn;
+                        *ad += bd;
+                    }
+                    (
+                        MetricValue::Histogram {
+                            buckets: ab,
+                            count: ac,
+                            sum: asum,
+                        },
+                        MetricValue::Histogram {
+                            buckets: bb,
+                            count: bc,
+                            sum: bsum,
+                        },
+                    ) => {
+                        if ab.len() < bb.len() {
+                            ab.resize(bb.len(), 0);
+                        }
+                        for (x, y) in ab.iter_mut().zip(bb.iter()) {
+                            *x += y;
+                        }
+                        *ac += bc;
+                        *asum += bsum;
+                    }
+                    (a, b) => panic!(
+                        "telemetry merge: metric {:?}{:?} has mismatched kinds ({a:?} vs {b:?})",
+                        om.name, om.labels
+                    ),
+                }
+            } else {
+                self.metrics.push(om.clone());
+            }
+        }
+        // Stable merge of two at_ns-sorted traces.
+        let mine = std::mem::take(&mut self.events);
+        let mut a = mine.into_iter().peekable();
+        let mut b = other.events.iter().cloned().peekable();
+        let mut merged = Vec::with_capacity(a.len() + b.len());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => {
+                    if x.at_ns <= y.at_ns {
+                        merged.push(a.next().unwrap());
+                    } else {
+                        merged.push(b.next().unwrap());
+                    }
+                }
+                (Some(_), None) => merged.push(a.next().unwrap()),
+                (None, Some(_)) => merged.push(b.next().unwrap()),
+                (None, None) => break,
+            }
+        }
+        self.events = merged;
+        self.events_dropped += other.events_dropped;
+    }
+
+    /// Merged copy of a list of snapshots (left fold of
+    /// [`TelemetrySnapshot::merge`]).
+    pub fn merged(parts: &[TelemetrySnapshot]) -> TelemetrySnapshot {
+        let mut out = TelemetrySnapshot::new();
+        for p in parts {
+            out.merge(p);
+        }
+        out
+    }
+
+    /// Serialize to a self-contained JSON document (no external deps;
+    /// non-finite floats become `null`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\"metrics\":[");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"name\":");
+            json_string(&mut s, &m.name);
+            s.push_str(",\"labels\":{");
+            for (j, (k, v)) in m.labels.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                json_string(&mut s, k);
+                s.push(':');
+                json_string(&mut s, v);
+            }
+            s.push_str("},");
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    s.push_str(&format!("\"kind\":\"counter\",\"value\":{v}"));
+                }
+                MetricValue::Gauge(v) => {
+                    s.push_str("\"kind\":\"gauge\",\"value\":");
+                    json_f64(&mut s, *v);
+                }
+                MetricValue::Ratio { num, den } => {
+                    s.push_str("\"kind\":\"ratio\",\"num\":");
+                    json_f64(&mut s, *num);
+                    s.push_str(",\"den\":");
+                    json_f64(&mut s, *den);
+                    s.push_str(",\"value\":");
+                    if *den == 0.0 {
+                        s.push_str("null");
+                    } else {
+                        json_f64(&mut s, num / den);
+                    }
+                }
+                MetricValue::Histogram {
+                    buckets,
+                    count,
+                    sum,
+                } => {
+                    s.push_str(&format!(
+                        "\"kind\":\"histogram\",\"count\":{count},\"sum\":{sum},\"buckets\":["
+                    ));
+                    // Trailing zero buckets add nothing; keep the document small.
+                    let last = buckets.iter().rposition(|&c| c != 0).map_or(0, |p| p + 1);
+                    for (j, c) in buckets[..last].iter().enumerate() {
+                        if j > 0 {
+                            s.push(',');
+                        }
+                        s.push_str(&c.to_string());
+                    }
+                    s.push(']');
+                }
+            }
+            s.push('}');
+        }
+        s.push_str("],\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("{{\"at_ns\":{},\"kind\":", e.at_ns));
+            json_string(&mut s, e.kind);
+            s.push_str(",\"subject\":");
+            json_string(&mut s, &e.subject);
+            s.push_str(",\"fields\":{");
+            for (j, (k, v)) in e.fields.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                json_string(&mut s, k);
+                s.push(':');
+                match v {
+                    FieldValue::U64(x) => s.push_str(&x.to_string()),
+                    FieldValue::F64(x) => json_f64(&mut s, *x),
+                    FieldValue::Str(x) => json_string(&mut s, x),
+                    FieldValue::Bool(x) => s.push_str(if *x { "true" } else { "false" }),
+                }
+            }
+            s.push_str("}}");
+        }
+        s.push_str(&format!(
+            "],\"events_dropped\":{}}}",
+            self.events_dropped
+        ));
+        s
+    }
+
+    /// Render as aligned plain text: one `name{labels}  value` line per
+    /// metric (sorted by name then labels), then the event trace.
+    pub fn render_text(&self) -> String {
+        let mut rows: Vec<(String, String)> = self
+            .metrics
+            .iter()
+            .map(|m| {
+                let mut id = m.name.clone();
+                if !m.labels.is_empty() {
+                    id.push('{');
+                    for (i, (k, v)) in m.labels.iter().enumerate() {
+                        if i > 0 {
+                            id.push(',');
+                        }
+                        id.push_str(k);
+                        id.push('=');
+                        id.push_str(v);
+                    }
+                    id.push('}');
+                }
+                (id, m.value.display())
+            })
+            .collect();
+        rows.sort();
+        let width = rows.iter().map(|(id, _)| id.chars().count()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (id, val) in &rows {
+            let pad = width - id.chars().count();
+            out.push_str(id);
+            for _ in 0..pad + 2 {
+                out.push(' ');
+            }
+            out.push_str(val);
+            out.push('\n');
+        }
+        if !self.events.is_empty() || self.events_dropped > 0 {
+            out.push_str(&format!(
+                "\nevents ({} shown, {} dropped):\n",
+                self.events.len(),
+                self.events_dropped
+            ));
+            for e in &self.events {
+                out.push_str(&format!("  [{:>14}ns] {:<18} {}", e.at_ns, e.kind, e.subject));
+                for (k, v) in &e.fields {
+                    let rendered = match v {
+                        FieldValue::U64(x) => x.to_string(),
+                        FieldValue::F64(x) => format!("{x:.3}"),
+                        FieldValue::Str(x) => x.clone(),
+                        FieldValue::Bool(x) => x.to_string(),
+                    };
+                    out.push_str(&format!(" {k}={rendered}"));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Sanity bound: histogram bucket vectors in snapshots never exceed this.
+pub const MAX_HISTOGRAM_BUCKETS: usize = HISTOGRAM_BUCKETS;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::metric::Histogram;
+
+    fn snap(counter: u64, at: u64) -> TelemetrySnapshot {
+        let mut s = TelemetrySnapshot::new();
+        s.counter("engine.tuples", &[], counter);
+        s.ratio("cache.miss_prob", &[("cache", "C")], counter as f64, 10.0);
+        s.push_event(Event::new(at, "tick", "x"));
+        s
+    }
+
+    #[test]
+    fn merge_sums_counters_and_ratio_components() {
+        let mut a = snap(3, 5);
+        a.merge(&snap(4, 2));
+        assert_eq!(a.get("engine.tuples", &[]), Some(&MetricValue::Counter(7)));
+        assert_eq!(
+            a.get("cache.miss_prob", &[("cache", "C")]),
+            Some(&MetricValue::Ratio { num: 7.0, den: 20.0 })
+        );
+        let times: Vec<u64> = a.events().iter().map(|e| e.at_ns).collect();
+        assert_eq!(times, vec![2, 5], "events merged into virtual-time order");
+    }
+
+    #[test]
+    fn merge_is_associative_on_metrics() {
+        let (a, b, c) = (snap(1, 1), snap(2, 2), snap(3, 3));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_keeps_disjoint_metrics() {
+        let mut a = TelemetrySnapshot::new();
+        a.counter("only.a", &[], 1);
+        let mut b = TelemetrySnapshot::new();
+        b.gauge("only.b", &[], 2.0);
+        a.merge(&b);
+        assert_eq!(a.get("only.a", &[]), Some(&MetricValue::Counter(1)));
+        assert_eq!(a.get("only.b", &[]), Some(&MetricValue::Gauge(2.0)));
+    }
+
+    #[test]
+    fn label_order_is_canonicalized() {
+        let mut a = TelemetrySnapshot::new();
+        a.counter("m", &[("x", "1"), ("a", "2")], 5);
+        assert_eq!(
+            a.get("m", &[("a", "2"), ("x", "1")]),
+            Some(&MetricValue::Counter(5))
+        );
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let mut s = TelemetrySnapshot::new();
+        s.counter("c", &[("k", "va\"lue")], 1);
+        s.gauge("g", &[], f64::NAN);
+        let mut h = Histogram::new();
+        h.record(3);
+        s.histogram("h", &[], &h);
+        s.push_event(Event::new(7, "e", "line\nbreak").field("f", 0.5));
+        let j = s.to_json();
+        assert!(j.contains("\"va\\\"lue\""));
+        assert!(j.contains("\"value\":null"), "NaN rendered as null");
+        assert!(j.contains("\"buckets\":[0,0,1]"), "trailing zeros trimmed");
+        assert!(j.contains("line\\nbreak"));
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        // Balanced braces/brackets outside strings — a cheap well-formedness check.
+        let (mut depth, mut in_str, mut esc) = (0i32, false, false);
+        for ch in j.chars() {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match ch {
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                '{' | '[' if !in_str => depth += 1,
+                '}' | ']' if !in_str => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+        assert!(!in_str);
+    }
+
+    #[test]
+    fn text_render_is_aligned_and_sorted() {
+        let mut s = TelemetrySnapshot::new();
+        s.counter("zz.long.metric.name", &[], 1);
+        s.counter("aa", &[], 2);
+        s.push_event(Event::new(1, "k", "subj").field("n", 3u64));
+        let txt = s.render_text();
+        let lines: Vec<&str> = txt.lines().collect();
+        assert!(lines[0].starts_with("aa"), "sorted by name");
+        assert!(lines[1].starts_with("zz.long.metric.name"));
+        let val_col_0 = lines[0].rfind("2").unwrap();
+        let val_col_1 = lines[1].rfind("1").unwrap();
+        assert_eq!(val_col_0, val_col_1, "values aligned");
+        assert!(txt.contains("events (1 shown, 0 dropped)"));
+        assert!(txt.contains("n=3"));
+    }
+
+    #[test]
+    fn counter_total_sums_across_labels() {
+        let mut s = TelemetrySnapshot::new();
+        s.counter("cache.hits", &[("cache", "A")], 3);
+        s.counter("cache.hits", &[("cache", "B")], 4);
+        assert_eq!(s.counter_total("cache.hits"), 7);
+    }
+}

@@ -17,6 +17,10 @@ fail=0
 run cargo build --release --offline --workspace || fail=1
 run cargo test -q --offline --workspace || fail=1
 
+# Documentation gate: every public item is documented (missing_docs is
+# enabled crate-side) and rustdoc warnings are errors.
+run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace || fail=1
+
 if cargo clippy --version >/dev/null 2>&1; then
   run cargo clippy --offline --workspace --all-targets -- -D warnings || fail=1
 else

@@ -325,7 +325,7 @@ pub mod collection {
         }
     }
 
-    /// Result of [`vec`].
+    /// Result of [`vec`](fn@vec).
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
