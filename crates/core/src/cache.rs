@@ -374,6 +374,56 @@ impl CacheStore {
     pub fn entries(&self) -> impl Iterator<Item = &CacheEntry> {
         self.buckets.iter().flatten()
     }
+
+    /// Verify the store's internal bookkeeping against a from-scratch
+    /// recount: `entries` equals the occupied-bucket count, `value_bytes`
+    /// equals the sum of per-entry byte estimates, every resident key probes
+    /// back to its own slot, and no set holds the same key twice. Returns a
+    /// human-readable line per violation (empty = consistent). Used by the
+    /// conformance harness's mid-run invariant sweeps.
+    pub fn check_accounting(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let occupied = self.buckets.iter().flatten().count();
+        if occupied != self.entries {
+            problems.push(format!(
+                "entry count drift: counted {occupied} occupied buckets but entries = {}",
+                self.entries
+            ));
+        }
+        let bytes: usize = self.buckets.iter().flatten().map(|e| e.bytes).sum();
+        if bytes != self.value_bytes {
+            problems.push(format!(
+                "byte accounting drift: recomputed {bytes} but value_bytes = {}",
+                self.value_bytes
+            ));
+        }
+        for (i, e) in self.buckets.iter().enumerate() {
+            let Some(e) = e else { continue };
+            let set = self.set_of(e.key());
+            let base = set * self.ways;
+            if !(base..base + self.ways).contains(&i) {
+                problems.push(format!(
+                    "misplaced entry: key {:?} lives in slot {i}, outside its set {set}",
+                    e.key()
+                ));
+            }
+            if self.slot_of(e.key()) != Some(i) && self.slot_of(e.key()).is_none() {
+                problems.push(format!("unreachable entry: key {:?} does not probe", e.key()));
+            }
+        }
+        for set in 0..=self.set_mask as usize {
+            let base = set * self.ways;
+            let keys: Vec<&[Value]> = (base..base + self.ways)
+                .filter_map(|i| self.buckets[i].as_ref().map(|e| e.key()))
+                .collect();
+            for (a, ka) in keys.iter().enumerate() {
+                if keys[a + 1..].contains(ka) {
+                    problems.push(format!("duplicate key {ka:?} within set {set}"));
+                }
+            }
+        }
+        problems
+    }
 }
 
 #[cfg(test)]
@@ -583,6 +633,28 @@ mod tests {
         c.resize(8);
         assert_eq!(c.ways(), 4);
         assert!(c.len() <= 8);
+    }
+
+    #[test]
+    fn accounting_check_clean_store() {
+        let mut c = CacheStore::with_associativity(8, 2);
+        for i in 0..6 {
+            c.create(key(&[i]), vec![(comp(1, i as u64, &[i, i]), 1)]);
+        }
+        c.insert(&key(&[0]), comp(2, 9, &[0, 9]), 1);
+        c.delete(&key(&[1]), &comp(1, 1, &[1, 1]), 1);
+        c.resize(4);
+        assert!(c.check_accounting().is_empty());
+    }
+
+    #[test]
+    fn accounting_check_detects_drift() {
+        let mut c = CacheStore::new(8);
+        c.create(key(&[1]), vec![(comp(1, 1, &[1, 2]), 1)]);
+        c.entries += 1; // simulate a bookkeeping bug
+        let problems = c.check_accounting();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("entry count drift"), "{}", problems[0]);
     }
 
     #[test]

@@ -283,6 +283,22 @@ pub struct CandidateDiagnostics {
     pub misses: u64,
 }
 
+/// A deliberately introduced cache-maintenance bug, used to validate that
+/// the differential-testing harness actually detects the discrepancy classes
+/// it claims to cover. Faults are inert in production: the field holding one
+/// is always `None` unless set through the test-only
+/// `AdaptiveJoinEngine::inject_fault` entry point (compiled only under
+/// `cfg(test)` or the `fault-injection` feature).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Drop plain-cache `insert` maintenance: cached entries go stale when a
+    /// segment relation grows (violates Definition 3.1 consistency).
+    SkipTapInserts,
+    /// Drop plain-cache `delete` maintenance: cached entries keep tuples the
+    /// window already expired (the classic stale-subresult bug).
+    SkipTapDeletes,
+}
+
 /// The adaptive stream-join engine.
 #[derive(Debug)]
 pub struct AdaptiveJoinEngine {
@@ -327,6 +343,14 @@ pub struct AdaptiveJoinEngine {
     out_hist: Histogram,
     /// Structured telemetry event log (virtual-time stamped).
     tlog: EventLog,
+    /// Harness-injected maintenance bug; always `None` in production.
+    fault: Option<InjectedFault>,
+    /// Probe hits/misses of candidates retired by re-enumeration
+    /// (`rebuild_candidates` resets per-candidate counters; the aggregate
+    /// engine counters persist, so conservation needs this carry).
+    retired_hits: u64,
+    /// Miss half of the retired-candidate carry.
+    retired_misses: u64,
 }
 
 impl AdaptiveJoinEngine {
@@ -386,6 +410,9 @@ impl AdaptiveJoinEngine {
             granted_bytes: Vec::new(),
             out_hist: Histogram::new(),
             tlog: EventLog::default(),
+            fault: None,
+            retired_hits: 0,
+            retired_misses: 0,
             config,
         };
         engine.rebuild_candidates();
@@ -469,6 +496,12 @@ impl AdaptiveJoinEngine {
     // Candidate lifecycle
 
     fn rebuild_candidates(&mut self) {
+        // Carry retiring candidates' probe totals so the aggregate engine
+        // counters stay reconcilable with per-cache counters (conservation).
+        for cr in &self.cands {
+            self.retired_hits += cr.hits;
+            self.retired_misses += cr.misses;
+        }
         let candidates =
             enumerate_candidates(self.core.query(), &self.orders, &self.config.enumeration);
         self.group_count = crate::candidates::num_groups(&candidates);
@@ -924,8 +957,13 @@ impl AdaptiveJoinEngine {
                         .map(|a| seg.get(*a).expect("maint attrs bound in segment").clone()),
                 );
                 match op_kind {
-                    Op::Insert => store.insert(&key, seg, 1),
-                    Op::Delete => store.delete(&key, &seg, 1),
+                    Op::Insert if self.fault != Some(InjectedFault::SkipTapInserts) => {
+                        store.insert(&key, seg, 1)
+                    }
+                    Op::Delete if self.fault != Some(InjectedFault::SkipTapDeletes) => {
+                        store.delete(&key, &seg, 1)
+                    }
+                    _ => {}
                 }
                 cost += 1;
             }
@@ -1597,6 +1635,13 @@ impl AdaptiveJoinEngine {
             pm.snapshot_into(&mut s, pi);
         }
         self.profiler.snapshot_into(&mut s);
+        if self.retired_hits > 0 || self.retired_misses > 0 {
+            // Totals of candidates dropped by re-enumeration, kept so
+            // Σ cache.hits == engine.cache_hits (counter conservation).
+            let labels: [(&str, &str); 1] = [("cache", "<retired>")];
+            s.counter("cache.hits", &labels, self.retired_hits);
+            s.counter("cache.misses", &labels, self.retired_misses);
+        }
         for cr in &self.cands {
             let name = cr.cand.name();
             let labels: [(&str, &str); 1] = [("cache", name.as_str())];
@@ -1640,6 +1685,73 @@ impl AdaptiveJoinEngine {
         let now = self.core.now_ns();
         self.stats_epoch(now);
         self.reoptimize(now);
+    }
+
+    /// Install (or clear) an [`InjectedFault`]. Only compiled for tests and
+    /// the `fault-injection` feature the conformance harness enables — there
+    /// is deliberately no way to set a fault from a production build.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub fn inject_fault(&mut self, fault: Option<InjectedFault>) {
+        self.fault = fault;
+    }
+
+    /// Run every cheap-enough structural invariant in one sweep and return
+    /// all violations (empty = healthy). Combines:
+    ///
+    /// * the Definition 3.1/6.1 cache-consistency check
+    ///   ([`AdaptiveJoinEngine::check_consistency_invariant`]);
+    /// * the §3 prefix invariant — every *used* plain cache's segment must be
+    ///   a prefix set of the current pipeline orders (global candidates are
+    ///   exempt: §6 exists to relax exactly this);
+    /// * used-cache ⇄ store coherence — a used candidate's shared group must
+    ///   have a live store;
+    /// * store bookkeeping ([`CacheStore::check_accounting`]);
+    /// * counter conservation — the aggregate `cache_hits`/`cache_misses`
+    ///   engine counters must equal the per-candidate totals.
+    ///
+    /// O(everything); meant for the conformance harness's mid-run sweeps and
+    /// post-run audits, not the hot path.
+    pub fn check_structural_invariants(&self) -> Vec<String> {
+        let mut violations = self.check_consistency_invariant();
+        for cr in &self.cands {
+            if cr.state != CacheState::Used {
+                continue;
+            }
+            let c = &cr.cand;
+            if !c.is_global() && !crate::candidates::is_prefix_set(&self.orders, &c.segment) {
+                violations.push(format!(
+                    "{}: used plain cache violates the prefix invariant under orders {:?}",
+                    c.name(),
+                    self.orders.pipelines[c.pipeline.0 as usize].order
+                ));
+            }
+            if self.stores.get(c.group).is_none_or(|s| s.is_none()) {
+                violations.push(format!("{}: used cache has no backing store", c.name()));
+            }
+        }
+        for (g, store) in self.stores.iter().enumerate() {
+            let Some(store) = store else { continue };
+            for p in store.check_accounting() {
+                violations.push(format!("store group {g}: {p}"));
+            }
+        }
+        let (cand_hits, cand_misses) = self.cands.iter().fold(
+            (self.retired_hits, self.retired_misses),
+            |(h, m), cr| (h + cr.hits, m + cr.misses),
+        );
+        if cand_hits != self.counters.cache_hits {
+            violations.push(format!(
+                "counter conservation: engine.cache_hits = {} but Σ per-cache hits = {cand_hits}",
+                self.counters.cache_hits
+            ));
+        }
+        if cand_misses != self.counters.cache_misses {
+            violations.push(format!(
+                "counter conservation: engine.cache_misses = {} but Σ per-cache misses = {cand_misses}",
+                self.counters.cache_misses
+            ));
+        }
+        violations
     }
 
     /// Check every active cache against its consistency invariant
@@ -1722,5 +1834,90 @@ impl AdaptiveJoinEngine {
             }
         }
         results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acq_mjoin::plan::PipelineOrder;
+    use acq_stream::TupleData;
+
+    /// Forced Figure-3 cache ({S,T} in ∆R's pipeline) over chain3.
+    fn forced_engine() -> AdaptiveJoinEngine {
+        let q = QuerySchema::chain3();
+        let orders = PlanOrders::new(vec![
+            PipelineOrder {
+                stream: RelId(0),
+                order: vec![RelId(1), RelId(2)],
+            },
+            PipelineOrder {
+                stream: RelId(1),
+                order: vec![RelId(2), RelId(0)],
+            },
+            PipelineOrder {
+                stream: RelId(2),
+                order: vec![RelId(1), RelId(0)],
+            },
+        ]);
+        let config = EngineConfig {
+            mode: CacheMode::Forced(vec![(RelId(0), vec![RelId(1), RelId(2)])]),
+            ..EngineConfig::default()
+        };
+        AdaptiveJoinEngine::with_config(q, orders, config)
+    }
+
+    /// A workload that populates the cache, then updates the cached segment.
+    fn drive(engine: &mut AdaptiveJoinEngine) {
+        for i in 0..6i64 {
+            engine.process(&Update::insert(RelId(1), TupleData::ints(&[i, i]), 0));
+            engine.process(&Update::insert(RelId(2), TupleData::ints(&[i]), 0));
+        }
+        // Probe ∆R so entries get created…
+        for i in 0..6i64 {
+            engine.process(&Update::insert(RelId(0), TupleData::ints(&[i]), 1));
+        }
+        // …then churn the cached segment so maintenance must run. The
+        // re-insert carries the same value but a fresh tuple identity, so
+        // both the delete and the insert produce a nonempty maintenance
+        // delta for the resident keys.
+        for i in 0..6i64 {
+            engine.process(&Update::delete(RelId(2), TupleData::ints(&[i]), 2));
+            engine.process(&Update::insert(RelId(2), TupleData::ints(&[i]), 2));
+        }
+    }
+
+    #[test]
+    fn injected_fault_breaks_consistency_invariant() {
+        // Sanity: the same workload with no fault is invariant-clean.
+        let mut clean = forced_engine();
+        drive(&mut clean);
+        assert!(clean.check_structural_invariants().is_empty());
+
+        // SkipTapDeletes leaves expired tuples in cached values — the
+        // consistency checker must flag it.
+        let mut broken = forced_engine();
+        broken.inject_fault(Some(InjectedFault::SkipTapDeletes));
+        drive(&mut broken);
+        let violations = broken.check_structural_invariants();
+        assert!(
+            !violations.is_empty(),
+            "stale-delete fault must violate Definition 3.1"
+        );
+
+        // Clearing the fault stops the bleeding (state stays corrupt, which
+        // is fine — we only assert the setter round-trips).
+        broken.inject_fault(None);
+    }
+
+    #[test]
+    fn injected_insert_fault_detected_too() {
+        let mut broken = forced_engine();
+        broken.inject_fault(Some(InjectedFault::SkipTapInserts));
+        drive(&mut broken);
+        assert!(
+            !broken.check_structural_invariants().is_empty(),
+            "missed-insert fault must violate Definition 3.1"
+        );
     }
 }

@@ -64,7 +64,7 @@ pub use candidates::{enumerate_candidates, is_prefix_set, Candidate, Enumeration
 pub use cost::{benefit_cost, BenefitCost, CandidateEstimates};
 pub use engine::{
     AdaptiveJoinEngine, AdaptivityEvent, CacheMode, CacheState, CandidateDiagnostics, EngineConfig,
-    EngineCounters, ReoptInterval, SelectionStrategy,
+    EngineCounters, InjectedFault, ReoptInterval, SelectionStrategy,
 };
 pub use memory::{allocate, Allocation, MemoryConfig, MemoryRequest};
 pub use profiler::{Profiler, ProfilerConfig};

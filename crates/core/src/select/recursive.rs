@@ -31,14 +31,38 @@ pub fn solve_recursive(instance: &SelectionInstance) -> Solution {
         c.benefit - instance.group_cost[c.group]
     };
 
+    // Candidates with *identical* spans in one pipeline can never be chosen
+    // together (they overlap), and the one with the best net value dominates
+    // the rest — so the containment forest is built over one representative
+    // per distinct span. Without this, duplicates nest both ways, neither
+    // becomes the other's parent, and the walk below would emit both.
+    let mut rep: std::collections::HashMap<(usize, usize, usize), usize> =
+        std::collections::HashMap::new();
+    for i in 0..m {
+        let c = &instance.choices[i];
+        let e = rep.entry((c.pipeline, c.start, c.end)).or_insert(i);
+        if net(i) > net(*e) {
+            *e = i;
+        }
+    }
+    let active: Vec<bool> = (0..m)
+        .map(|i| {
+            let c = &instance.choices[i];
+            rep[&(c.pipeline, c.start, c.end)] == i
+        })
+        .collect();
+
     // parent[i] = smallest strict superset in the same pipeline.
     let mut parent = vec![usize::MAX; m];
     #[allow(clippy::needless_range_loop)] // index math over two candidates
     for i in 0..m {
+        if !active[i] {
+            continue;
+        }
         let ci = &instance.choices[i];
         let mut best: Option<usize> = None;
         for j in 0..m {
-            if i == j {
+            if i == j || !active[j] {
                 continue;
             }
             let cj = &instance.choices[j];
@@ -73,11 +97,11 @@ pub fn solve_recursive(instance: &SelectionInstance) -> Solution {
     // before parents.
     let mut children: Vec<Vec<usize>> = vec![Vec::new(); m];
     for i in 0..m {
-        if parent[i] != usize::MAX {
+        if active[i] && parent[i] != usize::MAX {
             children[parent[i]].push(i);
         }
     }
-    let mut order: Vec<usize> = (0..m).collect();
+    let mut order: Vec<usize> = (0..m).filter(|&i| active[i]).collect();
     order.sort_by_key(|&i| instance.choices[i].ops());
 
     // best[i]: optimal net value achievable inside i's span; pick[i]: whether
@@ -98,7 +122,9 @@ pub fn solve_recursive(instance: &SelectionInstance) -> Solution {
 
     // Collect: walk down from roots; where take[i], choose i and stop.
     let mut sol = Vec::new();
-    let mut stack: Vec<usize> = (0..m).filter(|&i| parent[i] == usize::MAX).collect();
+    let mut stack: Vec<usize> = (0..m)
+        .filter(|&i| active[i] && parent[i] == usize::MAX)
+        .collect();
     while let Some(i) = stack.pop() {
         if best[i] <= 0.0 {
             continue;
@@ -187,6 +213,20 @@ mod tests {
         );
         let sol = solve_recursive(&inst);
         assert_eq!(sol, vec![0], "pipeline 1's cache has negative net");
+    }
+
+    #[test]
+    fn duplicate_spans_yield_one_choice() {
+        // Two candidates over the same span nest both ways; the DP must pick
+        // at most one (the better net), never both.
+        let inst = instance(
+            &[&[10.0, 10.0]],
+            &[(0, 0, 1, 12.0, 1.0, 0), (0, 0, 1, 15.0, 1.0, 1)],
+            &[1.0, 1.0],
+        );
+        let sol = solve_recursive(&inst);
+        assert!(inst.is_feasible(&sol), "duplicates chosen together: {sol:?}");
+        assert_eq!(sol, vec![1], "the higher-net duplicate wins");
     }
 
     #[test]

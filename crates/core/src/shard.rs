@@ -294,6 +294,26 @@ impl ShardedEngine {
         merged
     }
 
+    /// Run [`AdaptiveJoinEngine::check_structural_invariants`] on every
+    /// shard plus cross-shard sanity checks (routing counters consistent
+    /// with the configured topology). Violations are prefixed with the
+    /// offending shard index; empty = healthy. Diagnostic use only.
+    pub fn check_invariants(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            for v in shard.check_structural_invariants() {
+                violations.push(format!("shard {i}: {v}"));
+            }
+        }
+        if self.broadcast_relations().is_empty() && self.routing.broadcast > 0 {
+            violations.push(format!(
+                "routing: {} broadcasts but every relation has a partition column",
+                self.routing.broadcast
+            ));
+        }
+        violations
+    }
+
     // ------------------------------------------------------------------
     // Processing
 

@@ -23,5 +23,5 @@ pub mod table2;
 
 pub use column::ColumnGen;
 pub use fit::{fit_star_selectivities, HotValueModel};
-pub use spec::{Burst, StreamSpec, Workload};
+pub use spec::{Burst, StreamSpec, WindowChurn, Workload};
 pub use table2::{sample_point, SamplePoint, TABLE2};

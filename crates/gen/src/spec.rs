@@ -54,23 +54,40 @@ pub struct Burst {
     pub factor: f64,
 }
 
-/// A complete workload: streams + bursts + seed.
+/// A mid-run window-size change on one stream (adversarial "window churn"
+/// schedules: the adaptive loop must stay consistent while the windows it
+/// sized its caches for move underneath it).
+#[derive(Debug, Clone, Copy)]
+pub struct WindowChurn {
+    /// Affected relation.
+    pub rel: RelId,
+    /// Applied once this many elements (across all streams) have been
+    /// generated.
+    pub after_elements: u64,
+    /// The new window size in tuples. Shrinking evicts immediately.
+    pub new_window: usize,
+}
+
+/// A complete workload: streams + bursts + window churns + seed.
 #[derive(Debug, Clone)]
 pub struct Workload {
     /// Per-stream specs, one per relation, in relation-id order.
     pub streams: Vec<StreamSpec>,
     /// Rate bursts.
     pub bursts: Vec<Burst>,
+    /// Mid-run window resizes.
+    pub churns: Vec<WindowChurn>,
     /// RNG seed (the generator is fully deterministic).
     pub seed: u64,
 }
 
 impl Workload {
-    /// A workload with no bursts.
+    /// A workload with no bursts or churns.
     pub fn new(streams: Vec<StreamSpec>, seed: u64) -> Workload {
         Workload {
             streams,
             bursts: Vec::new(),
+            churns: Vec::new(),
             seed,
         }
     }
@@ -78,6 +95,12 @@ impl Workload {
     /// Add a burst.
     pub fn with_burst(mut self, burst: Burst) -> Workload {
         self.bursts.push(burst);
+        self
+    }
+
+    /// Add a window churn.
+    pub fn with_churn(mut self, churn: WindowChurn) -> Workload {
+        self.churns.push(churn);
         self
     }
 
@@ -95,18 +118,17 @@ impl Workload {
         rate
     }
 
-    /// Generate `total_elements` append-only arrivals (across all streams)
-    /// and return the windowed update stream, globally ordered by arrival
-    /// time. Timestamps are in virtual nanoseconds with 1 unit of rate = 1
-    /// tuple per second.
-    pub fn generate(&self, total_elements: usize) -> Vec<Update> {
+    /// Generate `total_elements` append-only arrivals (across all streams),
+    /// globally ordered by arrival time, *before* any windowing. Timestamps
+    /// are in virtual nanoseconds with 1 unit of rate = 1 tuple per second.
+    ///
+    /// This is the raw stream the window operators consume; differential
+    /// harnesses prefer it because removing an arrival always leaves a
+    /// well-formed stream (re-windowing recomputes the deletes), whereas
+    /// removing an [`Update`] can strand a dangling delete.
+    pub fn generate_arrivals(&self, total_elements: usize) -> Vec<StreamElement> {
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let n = self.streams.len();
-        let mut windows: Vec<CountWindow> = self
-            .streams
-            .iter()
-            .map(|s| CountWindow::new(s.rel, s.window))
-            .collect();
         // Next arrival time per stream (ns).
         let mut next_ns: Vec<f64> = (0..n).map(|_| 0.0).collect();
         // Stagger initial arrivals deterministically to avoid ties.
@@ -114,7 +136,7 @@ impl Workload {
             *t = i as f64;
         }
         let mut counters: Vec<u64> = vec![0; n];
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(total_elements);
         for produced in 0..total_elements as u64 {
             // Earliest next arrival wins.
             let i = (0..n)
@@ -125,10 +147,34 @@ impl Workload {
             let k = counters[i];
             counters[i] += 1;
             let vals: Vec<i64> = spec.columns.iter().map(|c| c.value(k, &mut rng)).collect();
-            let elem = StreamElement::new(spec.rel, TupleData::ints(&vals), ts);
-            out.extend(windows[i].push(elem));
+            out.push(StreamElement::new(spec.rel, TupleData::ints(&vals), ts));
             let rate = self.rate_of(spec.rel, produced).max(1e-9);
             next_ns[i] += 1e9 / rate;
+        }
+        out
+    }
+
+    /// Generate `total_elements` append-only arrivals (across all streams)
+    /// and return the windowed update stream, globally ordered by arrival
+    /// time. Window churns are applied between arrivals; evictions they
+    /// force are stamped with the preceding arrival's timestamp.
+    pub fn generate(&self, total_elements: usize) -> Vec<Update> {
+        let mut windows: Vec<CountWindow> = self
+            .streams
+            .iter()
+            .map(|s| CountWindow::new(s.rel, s.window))
+            .collect();
+        let mut out = Vec::new();
+        let mut last_ts = 0u64;
+        for (produced, elem) in self.generate_arrivals(total_elements).into_iter().enumerate() {
+            for c in &self.churns {
+                if c.after_elements == produced as u64 {
+                    out.extend(windows[c.rel.0 as usize].set_capacity(c.new_window, last_ts));
+                }
+            }
+            last_ts = elem.ts;
+            let i = elem.rel.0 as usize;
+            out.extend(windows[i].push(elem));
         }
         out
     }
@@ -222,6 +268,59 @@ mod tests {
             frac0(&first)
         );
         assert!(frac0(&last) > 0.85, "post-burst {}", frac0(&last));
+    }
+
+    #[test]
+    fn arrivals_match_windowed_stream() {
+        // generate() is exactly generate_arrivals() fed through the count
+        // windows — the two representations of a workload agree.
+        let w = chain3_default(3, 10, 42);
+        let arrivals = w.generate_arrivals(300);
+        assert_eq!(arrivals.len(), 300);
+        assert!(arrivals.windows(2).all(|p| p[0].ts <= p[1].ts));
+        let mut windows: Vec<CountWindow> = w
+            .streams
+            .iter()
+            .map(|s| CountWindow::new(s.rel, s.window))
+            .collect();
+        let mut rebuilt = Vec::new();
+        for e in arrivals {
+            let i = e.rel.0 as usize;
+            rebuilt.extend(windows[i].push(e));
+        }
+        assert_eq!(rebuilt, w.generate(300));
+    }
+
+    #[test]
+    fn churn_shrink_evicts_midstream() {
+        let w = Workload::new(vec![StreamSpec::new(0, 1.0, 20, vec![ColumnGen::seq()])], 1)
+            .with_churn(WindowChurn {
+                rel: RelId(0),
+                after_elements: 30,
+                new_window: 5,
+            });
+        let ups = w.generate(60);
+        let inserts = ups.iter().filter(|u| u.op == Op::Insert).count();
+        let deletes = ups.iter().filter(|u| u.op == Op::Delete).count();
+        assert_eq!(inserts, 60);
+        // Every insert not among the final 5 retained is eventually deleted.
+        assert_eq!(deletes, 55);
+        assert!(ups.windows(2).all(|p| p[0].ts <= p[1].ts), "still ordered");
+    }
+
+    #[test]
+    fn churn_grow_defers_evictions() {
+        let w = Workload::new(vec![StreamSpec::new(0, 1.0, 5, vec![ColumnGen::seq()])], 1)
+            .with_churn(WindowChurn {
+                rel: RelId(0),
+                after_elements: 10,
+                new_window: 50,
+            });
+        let ups = w.generate(40);
+        let deletes = ups.iter().filter(|u| u.op == Op::Delete).count();
+        // 5 evictions before the churn (arrivals 5..10); afterwards the
+        // window never refills to 50, so no further deletes.
+        assert_eq!(deletes, 5);
     }
 
     #[test]

@@ -1,0 +1,513 @@
+//! Self-contained, re-runnable test cases and their JSON serialization.
+//!
+//! A [`CaseSpec`] carries everything a conformance run needs: the query
+//! shape, per-relation window sizes, the *pre-window* arrival list, any
+//! mid-run window churns, and the configuration/shard matrix to sweep.
+//! Arrivals — not windowed updates — are the primary representation: the
+//! shrinker removes arrivals and re-derives the insert/delete stream, so a
+//! shrunk case can never contain a dangling delete.
+//!
+//! The format is a small JSON subset (objects, arrays, strings, integers)
+//! written and parsed in-tree so corpus files under `tests/corpus/` stay
+//! dependency-free and diff-friendly.
+
+use acq_stream::QuerySchema;
+
+/// The query template a case runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemaSpec {
+    /// §7.2's 3-way chain `R(A) ⋈ S(A,B) ⋈ T(B)`.
+    Chain3,
+    /// §7.1's n-way star equijoin on a shared attribute.
+    Star(usize),
+}
+
+impl SchemaSpec {
+    /// Instantiate the query schema.
+    pub fn query(&self) -> QuerySchema {
+        match *self {
+            SchemaSpec::Chain3 => QuerySchema::chain3(),
+            SchemaSpec::Star(n) => QuerySchema::star(n),
+        }
+    }
+
+    /// Number of relations.
+    pub fn num_relations(&self) -> usize {
+        match *self {
+            SchemaSpec::Chain3 => 3,
+            SchemaSpec::Star(n) => n,
+        }
+    }
+
+    /// Stable textual name (used in JSON).
+    pub fn as_str(&self) -> String {
+        match *self {
+            SchemaSpec::Chain3 => "chain3".to_string(),
+            SchemaSpec::Star(n) => format!("star{n}"),
+        }
+    }
+
+    /// Parse the textual name.
+    pub fn parse(s: &str) -> Result<SchemaSpec, String> {
+        if s == "chain3" {
+            return Ok(SchemaSpec::Chain3);
+        }
+        if let Some(n) = s.strip_prefix("star") {
+            let n: usize = n.parse().map_err(|_| format!("bad star arity in {s:?}"))?;
+            if (2..=8).contains(&n) {
+                return Ok(SchemaSpec::Star(n));
+            }
+        }
+        Err(format!("unknown schema {s:?}"))
+    }
+}
+
+/// One engine configuration point in the plan-space sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigId {
+    /// Caching disabled entirely (pure MJoin baseline).
+    NoCaches,
+    /// Exhaustive offline selection (§4.4).
+    Exhaustive,
+    /// Appendix B greedy selection.
+    Greedy,
+    /// Incremental (warm-start) selection.
+    Incremental,
+    /// LP relaxation + randomized rounding.
+    LpRounding,
+    /// Auto selection under a severely constrained memory budget (§5).
+    TinyMemory,
+    /// A forced always-on cache (Figure 3's {S,T} cache; chain3 only).
+    Forced,
+    /// Auto selection with globally-consistent candidates enabled (§6).
+    GlobalEnum,
+}
+
+impl ConfigId {
+    /// Every configuration, in sweep order.
+    pub const ALL: &'static [ConfigId] = &[
+        ConfigId::NoCaches,
+        ConfigId::Exhaustive,
+        ConfigId::Greedy,
+        ConfigId::Incremental,
+        ConfigId::LpRounding,
+        ConfigId::TinyMemory,
+        ConfigId::Forced,
+        ConfigId::GlobalEnum,
+    ];
+
+    /// Stable textual name (used in JSON).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ConfigId::NoCaches => "no-caches",
+            ConfigId::Exhaustive => "exhaustive",
+            ConfigId::Greedy => "greedy",
+            ConfigId::Incremental => "incremental",
+            ConfigId::LpRounding => "lp-rounding",
+            ConfigId::TinyMemory => "tiny-memory",
+            ConfigId::Forced => "forced",
+            ConfigId::GlobalEnum => "global-enum",
+        }
+    }
+
+    /// Parse the textual name.
+    pub fn parse(s: &str) -> Result<ConfigId, String> {
+        ConfigId::ALL
+            .iter()
+            .copied()
+            .find(|c| c.as_str() == s)
+            .ok_or_else(|| format!("unknown config {s:?}"))
+    }
+}
+
+/// One append-only arrival, before windowing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrivalSpec {
+    /// Target relation index.
+    pub rel: u16,
+    /// Arrival timestamp (virtual ns; nondecreasing across the list).
+    pub ts: u64,
+    /// Column values, in schema order.
+    pub vals: Vec<i64>,
+}
+
+/// A mid-run window resize: `(relation, after_arrivals, new_window)`.
+pub type ChurnSpec = (usize, u64, usize);
+
+/// A fully materialized, re-runnable differential-test case.
+#[derive(Debug, Clone)]
+pub struct CaseSpec {
+    /// Human-readable identifier (`seedN-caseI` or a corpus file stem).
+    pub name: String,
+    /// Query template.
+    pub schema: SchemaSpec,
+    /// Per-relation count-window sizes, in relation-id order.
+    pub windows: Vec<usize>,
+    /// Window churns, applied in arrival order.
+    pub churns: Vec<ChurnSpec>,
+    /// The pre-window arrival list.
+    pub arrivals: Vec<ArrivalSpec>,
+    /// Engine configurations to sweep.
+    pub configs: Vec<ConfigId>,
+    /// Shard counts to sweep (outputs must be identical across them).
+    pub shards: Vec<usize>,
+}
+
+impl CaseSpec {
+    /// Serialize to the corpus JSON format (stable field order, one arrival
+    /// per line — diff-friendly).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256 + self.arrivals.len() * 24);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"name\": \"{}\",\n", self.name));
+        s.push_str(&format!("  \"schema\": \"{}\",\n", self.schema.as_str()));
+        let windows: Vec<String> = self.windows.iter().map(|w| w.to_string()).collect();
+        s.push_str(&format!("  \"windows\": [{}],\n", windows.join(", ")));
+        let churns: Vec<String> = self
+            .churns
+            .iter()
+            .map(|(r, a, w)| format!("[{r}, {a}, {w}]"))
+            .collect();
+        s.push_str(&format!("  \"churns\": [{}],\n", churns.join(", ")));
+        let configs: Vec<String> = self
+            .configs
+            .iter()
+            .map(|c| format!("\"{}\"", c.as_str()))
+            .collect();
+        s.push_str(&format!("  \"configs\": [{}],\n", configs.join(", ")));
+        let shards: Vec<String> = self.shards.iter().map(|n| n.to_string()).collect();
+        s.push_str(&format!("  \"shards\": [{}],\n", shards.join(", ")));
+        s.push_str("  \"arrivals\": [\n");
+        for (i, a) in self.arrivals.iter().enumerate() {
+            let vals: Vec<String> = a.vals.iter().map(|v| v.to_string()).collect();
+            let sep = if i + 1 == self.arrivals.len() { "" } else { "," };
+            s.push_str(&format!("    [{}, {}, {}]{sep}\n", a.rel, a.ts, vals.join(", ")));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parse the corpus JSON format.
+    pub fn from_json(text: &str) -> Result<CaseSpec, String> {
+        let v = parse_json(text)?;
+        let obj = v.as_obj().ok_or("top level must be an object")?;
+        let field = |k: &str| -> Result<&Json, String> {
+            obj.iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field {k:?}"))
+        };
+        let name = field("name")?.as_str().ok_or("name must be a string")?.to_string();
+        let schema = SchemaSpec::parse(field("schema")?.as_str().ok_or("schema must be a string")?)?;
+        let windows = field("windows")?
+            .as_arr()
+            .ok_or("windows must be an array")?
+            .iter()
+            .map(|w| {
+                w.as_int()
+                    .filter(|&w| w > 0)
+                    .map(|w| w as usize)
+                    .ok_or_else(|| "windows must be positive integers".to_string())
+            })
+            .collect::<Result<Vec<usize>, String>>()?;
+        if windows.len() != schema.num_relations() {
+            return Err(format!(
+                "expected {} windows, got {}",
+                schema.num_relations(),
+                windows.len()
+            ));
+        }
+        let mut churns = Vec::new();
+        for c in field("churns")?.as_arr().ok_or("churns must be an array")? {
+            let c = c.as_arr().ok_or("each churn must be [rel, after, window]")?;
+            let ints: Vec<i64> = c.iter().filter_map(Json::as_int).collect();
+            match ints[..] {
+                [r, a, w] if r >= 0 && (r as usize) < schema.num_relations() && a >= 0 && w > 0 => {
+                    churns.push((r as usize, a as u64, w as usize))
+                }
+                _ => return Err(format!("bad churn {ints:?}")),
+            }
+        }
+        let configs = field("configs")?
+            .as_arr()
+            .ok_or("configs must be an array")?
+            .iter()
+            .map(|c| ConfigId::parse(c.as_str().ok_or("configs must be strings")?))
+            .collect::<Result<Vec<ConfigId>, String>>()?;
+        let shards = field("shards")?
+            .as_arr()
+            .ok_or("shards must be an array")?
+            .iter()
+            .map(|s| {
+                s.as_int()
+                    .filter(|&n| (1..=16).contains(&n))
+                    .map(|n| n as usize)
+                    .ok_or_else(|| "shard counts must be in 1..=16".to_string())
+            })
+            .collect::<Result<Vec<usize>, String>>()?;
+        let mut arrivals = Vec::new();
+        let mut last_ts = 0u64;
+        for a in field("arrivals")?.as_arr().ok_or("arrivals must be an array")? {
+            let a = a.as_arr().ok_or("each arrival must be [rel, ts, vals...]")?;
+            let ints: Vec<i64> = a.iter().filter_map(Json::as_int).collect();
+            if ints.len() != a.len() || ints.len() < 2 {
+                return Err("each arrival must be [rel, ts, vals...] integers".to_string());
+            }
+            let rel = ints[0];
+            let ts = ints[1];
+            if rel < 0 || rel as usize >= schema.num_relations() {
+                return Err(format!("arrival relation {rel} out of range"));
+            }
+            if ts < 0 || (ts as u64) < last_ts {
+                return Err(format!("arrival timestamps must be nondecreasing (got {ts})"));
+            }
+            last_ts = ts as u64;
+            let arity = schema.query().relation(acq_stream::RelId(rel as u16)).arity();
+            if ints.len() - 2 != arity {
+                return Err(format!(
+                    "arrival for relation {rel} carries {} values, arity is {arity}",
+                    ints.len() - 2
+                ));
+            }
+            arrivals.push(ArrivalSpec {
+                rel: rel as u16,
+                ts: ts as u64,
+                vals: ints[2..].to_vec(),
+            });
+        }
+        Ok(CaseSpec {
+            name,
+            schema,
+            windows,
+            churns,
+            arrivals,
+            configs,
+            shards,
+        })
+    }
+}
+
+// ----------------------------------------------------------------------
+// Minimal JSON subset parser (objects / arrays / strings / integers).
+
+/// A parsed JSON value (integers only — the corpus format needs nothing
+/// more, and rejecting floats keeps cases bit-exact).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// An integer.
+    Int(i64),
+    /// A string (no escape sequences beyond `\"` and `\\`).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_int(&self) -> Option<i64> {
+        match self {
+            Json::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+    fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document (the subset above). Errors carry a byte offset.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let b = text.as_bytes();
+    let mut i = 0usize;
+    let v = parse_value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing garbage at byte {i}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn parse_value(b: &[u8], i: &mut usize) -> Result<Json, String> {
+    skip_ws(b, i);
+    match b.get(*i) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *i += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b'}') {
+                *i += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, i);
+                let key = match parse_value(b, i)? {
+                    Json::Str(s) => s,
+                    _ => return Err(format!("object key must be a string at byte {i}")),
+                };
+                skip_ws(b, i);
+                if b.get(*i) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {i}"));
+                }
+                *i += 1;
+                fields.push((key, parse_value(b, i)?));
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b'}') => {
+                        *i += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {i}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *i += 1;
+            let mut items = Vec::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&b']') {
+                *i += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, i)?);
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(b',') => *i += 1,
+                    Some(b']') => {
+                        *i += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {i}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *i += 1;
+            let mut s = String::new();
+            loop {
+                match b.get(*i) {
+                    None => return Err("unterminated string".to_string()),
+                    Some(b'"') => {
+                        *i += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    Some(b'\\') => {
+                        *i += 1;
+                        match b.get(*i) {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            _ => return Err(format!("unsupported escape at byte {i}")),
+                        }
+                        *i += 1;
+                    }
+                    Some(&c) => {
+                        s.push(c as char);
+                        *i += 1;
+                    }
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *i;
+            *i += 1;
+            while b.get(*i).is_some_and(u8::is_ascii_digit) {
+                *i += 1;
+            }
+            if matches!(b.get(*i), Some(b'.' | b'e' | b'E')) {
+                return Err(format!("floats are not part of the corpus format (byte {i})"));
+            }
+            std::str::from_utf8(&b[start..*i])
+                .ok()
+                .and_then(|s| s.parse::<i64>().ok())
+                .map(Json::Int)
+                .ok_or_else(|| format!("bad integer at byte {start}"))
+        }
+        Some(c) => Err(format!("unexpected byte {:?} at {i}", *c as char)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CaseSpec {
+        CaseSpec {
+            name: "t".to_string(),
+            schema: SchemaSpec::Chain3,
+            windows: vec![4, 3, 5],
+            churns: vec![(0, 7, 2)],
+            arrivals: vec![
+                ArrivalSpec { rel: 0, ts: 0, vals: vec![1] },
+                ArrivalSpec { rel: 1, ts: 5, vals: vec![1, -2] },
+                ArrivalSpec { rel: 2, ts: 9, vals: vec![-2] },
+            ],
+            configs: vec![ConfigId::Greedy, ConfigId::LpRounding],
+            shards: vec![1, 2],
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let spec = sample();
+        let back = CaseSpec::from_json(&spec.to_json()).expect("parse");
+        assert_eq!(back.name, spec.name);
+        assert_eq!(back.schema, spec.schema);
+        assert_eq!(back.windows, spec.windows);
+        assert_eq!(back.churns, spec.churns);
+        assert_eq!(back.arrivals, spec.arrivals);
+        assert_eq!(back.configs, spec.configs);
+        assert_eq!(back.shards, spec.shards);
+    }
+
+    #[test]
+    fn parser_rejects_malformed() {
+        for bad in [
+            "",
+            "{",
+            "[1, 2",
+            "{\"a\": }",
+            "{\"name\": \"x\"} extra",
+            "1.5",
+        ] {
+            assert!(parse_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn spec_validation_catches_bad_cases() {
+        let spec = sample();
+        // Wrong arity.
+        let j = spec.to_json().replace("[0, 0, 1]", "[0, 0, 1, 2]");
+        assert!(CaseSpec::from_json(&j).is_err());
+        // Decreasing timestamps.
+        let j = spec.to_json().replace("[2, 9, -2]", "[2, 1, -2]");
+        assert!(CaseSpec::from_json(&j).is_err());
+        // Unknown config.
+        let j = spec.to_json().replace("\"greedy\"", "\"mystery\"");
+        assert!(CaseSpec::from_json(&j).is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! # acq-harness — deterministic differential-testing harness
+//!
+//! The paper's central claim is plan-space equivalence: every point between
+//! a subresult-free MJoin and a fully cached XJoin tree must produce the
+//! same answer stream while the adaptive loop moves between them. This crate
+//! tests that claim systematically instead of at hand-picked points:
+//!
+//! * [`gencase`] derives seeded random workloads (query templates, rates,
+//!   window sizes, bursty rates, window churn) on top of `acq-gen`;
+//! * [`sweep`] runs each case across every selection algorithm, forced
+//!   cache sets, memory budgets, and 1/2/4-shard topologies, cross-checking
+//!   per-update deltas against the naive recomputation oracle and sweeping
+//!   the structural invariant checkers mid-run;
+//! * [`shrink`] reduces any failing case to a minimal reproducer;
+//! * [`casefile`] serializes cases as dependency-free JSON, committed under
+//!   `tests/corpus/` so fixed bugs stay fixed.
+//!
+//! The `acq-harness` binary wires these together; see `TESTING.md` at the
+//! repository root for usage.
+
+#![warn(missing_docs)]
+
+pub mod casefile;
+pub mod gencase;
+pub mod shrink;
+pub mod sweep;
+
+pub use casefile::{ArrivalSpec, CaseSpec, ConfigId, SchemaSpec};
+pub use sweep::{run_case, CaseFailure, CaseOutcome};

@@ -1,0 +1,179 @@
+//! The conformance sweep binary.
+//!
+//! ```text
+//! cargo run --release -p acq-harness -- --seed 42 --cases 50
+//! ```
+//!
+//! Generates `--cases` seeded random workloads and runs the full
+//! configuration × shard sweep on each. On failure, the case is shrunk to a
+//! minimal reproducer and written to the corpus directory for triage; the
+//! process exits nonzero. `--check-corpus` additionally replays every
+//! committed corpus case first and fails if one no longer runs green.
+
+use acq_harness::casefile::CaseSpec;
+use acq_harness::{gencase, shrink, sweep};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    seed: u64,
+    cases: u64,
+    check_corpus: bool,
+    corpus_dir: PathBuf,
+    write_reproducers: bool,
+    export: Option<u64>,
+}
+
+fn default_corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 42,
+        cases: 20,
+        check_corpus: false,
+        corpus_dir: default_corpus_dir(),
+        write_reproducers: true,
+        export: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs an integer")?
+            }
+            "--cases" => {
+                args.cases = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--cases needs an integer")?
+            }
+            "--check-corpus" => args.check_corpus = true,
+            "--corpus-dir" => {
+                args.corpus_dir = it.next().map(PathBuf::from).ok_or("--corpus-dir needs a path")?
+            }
+            "--no-write" => args.write_reproducers = false,
+            "--export" => {
+                args.export = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--export needs a case index")?,
+                )
+            }
+            "--help" | "-h" => {
+                println!(
+                    "acq-harness: plan-space conformance sweep\n\n\
+                     USAGE: acq-harness [--seed N] [--cases N] [--check-corpus]\n\
+                            [--corpus-dir PATH] [--no-write]\n\n\
+                     --seed N        sweep seed (default 42)\n\
+                     --cases N       number of generated cases (default 20)\n\
+                     --check-corpus  replay tests/corpus/*.json first; fail if not green\n\
+                     --corpus-dir P  corpus directory (default: tests/corpus)\n\
+                     --no-write      do not write shrunk reproducers on failure\n\
+                     --export I      write generated case I of --seed to the corpus dir and exit"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn check_corpus(dir: &PathBuf) -> Result<usize, String> {
+    let mut entries: Vec<PathBuf> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|e| e == "json"))
+            .collect(),
+        Err(_) => return Ok(0), // no corpus yet
+    };
+    entries.sort();
+    for path in &entries {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path:?}: {e}"))?;
+        let spec = CaseSpec::from_json(&text).map_err(|e| format!("{path:?}: {e}"))?;
+        sweep::run_case(&spec)
+            .map_err(|f| format!("corpus case {path:?} no longer green: [{}] {}", f.run, f.detail))?;
+    }
+    Ok(entries.len())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(i) = args.export {
+        let spec = gencase::generate(args.seed, i);
+        if let Err(e) = std::fs::create_dir_all(&args.corpus_dir) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        let path = args.corpus_dir.join(format!("{}.json", spec.name));
+        return match std::fs::write(&path, spec.to_json()) {
+            Ok(()) => {
+                println!("wrote {path:?}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if args.check_corpus {
+        match check_corpus(&args.corpus_dir) {
+            Ok(n) => println!("corpus: {n} case(s) green"),
+            Err(e) => {
+                eprintln!("FAIL {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut total_updates = 0usize;
+    let mut total_runs = 0usize;
+    for i in 0..args.cases {
+        let spec = gencase::generate(args.seed, i);
+        match sweep::run_case(&spec) {
+            Ok(outcome) => {
+                total_updates += outcome.updates;
+                total_runs += outcome.runs;
+            }
+            Err(f) => {
+                eprintln!("FAIL {}: [{}] {}", spec.name, f.run, f.detail);
+                eprintln!("shrinking…");
+                let min = shrink::shrink(&spec);
+                eprintln!(
+                    "minimal reproducer: {} arrivals, configs {:?}, shards {:?}",
+                    min.arrivals.len(),
+                    min.configs.iter().map(|c| c.as_str()).collect::<Vec<_>>(),
+                    min.shards
+                );
+                if args.write_reproducers {
+                    let _ = std::fs::create_dir_all(&args.corpus_dir);
+                    let path = args.corpus_dir.join(format!("{}.json", min.name));
+                    match std::fs::write(&path, min.to_json()) {
+                        Ok(()) => eprintln!("reproducer written to {path:?}"),
+                        Err(e) => eprintln!("could not write reproducer: {e}"),
+                    }
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!(
+        "conformance: {} case(s) green · {} runs · {} updates · seed {}",
+        args.cases, total_runs, total_updates, args.seed
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,164 @@
+//! Failure shrinking: reduce a failing case to a minimal reproducer.
+//!
+//! A ddmin-style loop over the *arrival list* (chunk removal at halving
+//! granularity), preceded by sweep-matrix narrowing (single failing config,
+//! minimal shard set). Because cases store pre-window arrivals and the
+//! update stream is re-derived on every attempt, any subset of arrivals is a
+//! well-formed case — shrinking can never produce a dangling delete.
+
+use crate::casefile::CaseSpec;
+use crate::sweep::run_case;
+
+/// Upper bound on sweep evaluations per shrink (keeps worst-case shrink
+/// time bounded; the minimum found so far is returned on exhaustion).
+const MAX_EVALS: usize = 400;
+
+/// Shrink a failing case. Returns the smallest still-failing case found
+/// (the input itself if no reduction reproduces). The result's `name`
+/// gains a `-min` suffix.
+pub fn shrink(spec: &CaseSpec) -> CaseSpec {
+    shrink_with(spec, |c| run_case(c).is_err())
+}
+
+/// [`shrink`] parameterized over the failure predicate (`true` = still
+/// fails). Lets tests drive the ddmin machinery with synthetic oracles.
+pub fn shrink_with(spec: &CaseSpec, still_fails: impl Fn(&CaseSpec) -> bool) -> CaseSpec {
+    debug_assert!(still_fails(spec), "shrink wants a failing case");
+    let mut best = spec.clone();
+    let mut evals = 0usize;
+    let fails = |c: &CaseSpec, evals: &mut usize| -> bool {
+        if *evals >= MAX_EVALS {
+            return false;
+        }
+        *evals += 1;
+        still_fails(c)
+    };
+
+    // 1. Narrow to a single failing config (keeps the sweep cheap for the
+    // arrival ddmin below). If the failure only manifests via shard runs or
+    // the windowing cross-check, an empty config list still reproduces.
+    for subset in [Vec::new()]
+        .into_iter()
+        .chain(best.configs.iter().map(|&c| vec![c]))
+    {
+        let mut cand = best.clone();
+        cand.configs = subset;
+        if fails(&cand, &mut evals) {
+            best = cand;
+            break;
+        }
+    }
+
+    // 2. Minimal shard set: none, then each count alone.
+    for subset in [Vec::new()]
+        .into_iter()
+        .chain(best.shards.iter().map(|&s| vec![s]))
+    {
+        let mut cand = best.clone();
+        cand.shards = subset;
+        if fails(&cand, &mut evals) {
+            best = cand;
+            break;
+        }
+    }
+
+    // 3. Drop churns if the failure reproduces without them.
+    if !best.churns.is_empty() {
+        let mut cand = best.clone();
+        cand.churns.clear();
+        if fails(&cand, &mut evals) {
+            best = cand;
+        }
+    }
+
+    // 4. ddmin over arrivals: try removing chunks, halving the chunk size
+    // until single arrivals. Churn thresholds are arrival *counts*, so they
+    // shift meaning as arrivals vanish; that is fine — any still-failing
+    // case is a valid reproducer.
+    let mut chunk = (best.arrivals.len() / 2).max(1);
+    loop {
+        let mut reduced = false;
+        let mut start = 0usize;
+        while start < best.arrivals.len() {
+            let end = (start + chunk).min(best.arrivals.len());
+            let mut cand = best.clone();
+            cand.arrivals.drain(start..end);
+            if !cand.arrivals.is_empty() && fails(&cand, &mut evals) {
+                best = cand;
+                reduced = true;
+                // Retry the same offset: the next chunk slid into place.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 && !reduced {
+            break;
+        }
+        if !reduced {
+            chunk = (chunk / 2).max(1);
+        }
+        if evals >= MAX_EVALS {
+            break;
+        }
+    }
+
+    best.name = format!("{}-min", spec.name);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::casefile::{ArrivalSpec, ConfigId, SchemaSpec};
+
+    fn big_case() -> CaseSpec {
+        let arrivals = (0..40u64)
+            .map(|i| ArrivalSpec {
+                rel: (i % 3) as u16,
+                ts: i,
+                vals: if i % 3 == 1 { vec![i as i64, 7] } else { vec![7] },
+            })
+            .collect();
+        CaseSpec {
+            name: "synthetic".to_string(),
+            schema: SchemaSpec::Chain3,
+            windows: vec![4, 4, 4],
+            churns: vec![(0, 20, 2)],
+            arrivals,
+            configs: ConfigId::ALL.to_vec(),
+            shards: vec![1, 2, 4],
+        }
+    }
+
+    #[test]
+    fn ddmin_reaches_a_one_minimal_case() {
+        // Synthetic bug: the case "fails" iff it still contains at least two
+        // arrivals for relation 2.
+        let fails =
+            |c: &CaseSpec| c.arrivals.iter().filter(|a| a.rel == 2).count() >= 2;
+        let spec = big_case();
+        assert!(fails(&spec));
+        let min = shrink_with(&spec, fails);
+        assert!(fails(&min), "shrunk case must still fail");
+        assert_eq!(
+            min.arrivals.len(),
+            2,
+            "exactly the two triggering arrivals survive: {:?}",
+            min.arrivals
+        );
+        // Matrix narrowing: the synthetic failure needs no configs/shards.
+        assert!(min.configs.is_empty());
+        assert!(min.shards.is_empty());
+        assert!(min.churns.is_empty());
+        assert!(min.name.ends_with("-min"));
+    }
+
+    #[test]
+    fn shrink_keeps_failures_that_need_everything() {
+        // A failure that depends on the whole arrival list cannot shrink.
+        let total = big_case().arrivals.len();
+        let fails = move |c: &CaseSpec| c.arrivals.len() == total;
+        let min = shrink_with(&big_case(), fails);
+        assert_eq!(min.arrivals.len(), total);
+    }
+}

@@ -1,0 +1,107 @@
+//! Simplex edge cases: degenerate vertices (including the classic cycling
+//! instance Bland's rule exists for), unbounded objectives, and infeasible
+//! systems. The solver must classify each correctly and terminate.
+
+use acq_lp::{LinearProgram, LpResult};
+
+fn optimal(r: LpResult) -> (Vec<f64>, f64) {
+    match r {
+        LpResult::Optimal { x, objective } => (x, objective),
+        other => panic!("expected optimal, got {other}"),
+    }
+}
+
+#[test]
+fn degenerate_duplicate_constraints() {
+    // The same face three times over: every pivot at the optimum is
+    // degenerate, but the answer is plain.
+    let mut lp = LinearProgram::maximize(vec![1.0, 1.0]);
+    lp.add_le(vec![1.0, 1.0], 2.0);
+    lp.add_le(vec![1.0, 1.0], 2.0);
+    lp.add_le(vec![2.0, 2.0], 4.0);
+    let (x, obj) = optimal(lp.solve());
+    assert!((obj - 2.0).abs() < 1e-9);
+    assert!((x[0] + x[1] - 2.0).abs() < 1e-9);
+}
+
+#[test]
+fn degenerate_zero_rhs_vertex() {
+    // The origin is an over-determined vertex (three active constraints in
+    // two variables, all with zero slack).
+    let mut lp = LinearProgram::maximize(vec![1.0, 1.0]);
+    lp.add_le(vec![1.0, -1.0], 0.0);
+    lp.add_le(vec![-1.0, 1.0], 0.0);
+    lp.add_le(vec![1.0, 1.0], 2.0);
+    let (x, obj) = optimal(lp.solve());
+    assert!((obj - 2.0).abs() < 1e-9);
+    assert!((x[0] - 1.0).abs() < 1e-9 && (x[1] - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn beale_cycling_instance_terminates() {
+    // Beale (1955): the textbook example on which Dantzig's largest-
+    // coefficient rule cycles forever. Bland's rule must terminate at the
+    // optimum −1/20.
+    let mut lp = LinearProgram::minimize(vec![-0.75, 150.0, -0.02, 6.0]);
+    lp.add_le(vec![0.25, -60.0, -1.0 / 25.0, 9.0], 0.0);
+    lp.add_le(vec![0.5, -90.0, -1.0 / 50.0, 3.0], 0.0);
+    lp.add_le(vec![0.0, 0.0, 1.0, 0.0], 1.0);
+    let (x, obj) = optimal(lp.solve());
+    assert!((obj - (-0.05)).abs() < 1e-9, "objective {obj}");
+    assert!((x[2] - 1.0).abs() < 1e-9, "x3 hits its bound at the optimum");
+}
+
+#[test]
+fn unbounded_maximization() {
+    // Only a lower-ish bound on the recession direction: max x + y with
+    // x − y ≤ 1 lets both grow without limit.
+    let mut lp = LinearProgram::maximize(vec![1.0, 1.0]);
+    lp.add_le(vec![1.0, -1.0], 1.0);
+    assert_eq!(lp.solve(), LpResult::Unbounded);
+}
+
+#[test]
+fn unbounded_minimization_via_ge() {
+    // min −x s.t. x ≥ 1: feasible (phase one succeeds) but the objective
+    // falls forever.
+    let mut lp = LinearProgram::minimize(vec![-1.0]);
+    lp.add_ge(vec![1.0], 1.0);
+    assert_eq!(lp.solve(), LpResult::Unbounded);
+}
+
+#[test]
+fn infeasible_band() {
+    // x ≤ 1 and x ≥ 2 cannot hold together.
+    let mut lp = LinearProgram::maximize(vec![1.0]);
+    lp.add_le(vec![1.0], 1.0);
+    lp.add_ge(vec![1.0], 2.0);
+    assert_eq!(lp.solve(), LpResult::Infeasible);
+}
+
+#[test]
+fn infeasible_conflicting_equalities() {
+    let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
+    lp.add_eq(vec![1.0, 1.0], 1.0);
+    lp.add_eq(vec![1.0, 1.0], 2.0);
+    assert_eq!(lp.solve(), LpResult::Infeasible);
+}
+
+#[test]
+fn infeasible_negative_rhs_equality() {
+    // Nonnegative variables cannot sum to a negative number.
+    let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
+    lp.add_eq(vec![1.0, 1.0], -1.0);
+    assert_eq!(lp.solve(), LpResult::Infeasible);
+}
+
+#[test]
+fn equality_pinned_optimum() {
+    // Mixed Eq/Le with a degenerate tie: max 2x + y on the segment
+    // x + y = 1, x ≤ 1 — optimum sits at the x = 1 endpoint.
+    let mut lp = LinearProgram::maximize(vec![2.0, 1.0]);
+    lp.add_eq(vec![1.0, 1.0], 1.0);
+    lp.add_le(vec![1.0, 0.0], 1.0);
+    let (x, obj) = optimal(lp.solve());
+    assert!((obj - 2.0).abs() < 1e-9);
+    assert!((x[0] - 1.0).abs() < 1e-9 && x[1].abs() < 1e-9);
+}

@@ -7,7 +7,10 @@
 //! tests diff these against executor output via [`canonical_rows`] /
 //! [`multiset_diff`].
 
-use acq_stream::{Composite, Op, QuerySchema, RelId, TupleData, Update};
+use acq_stream::{
+    Composite, CountWindow, Op, QuerySchema, RelId, StreamElement, TimeWindow, TupleData, Update,
+    WindowOp,
+};
 use std::collections::HashMap;
 
 /// Canonical form of one n-way join result: the per-relation tuple data in
@@ -182,6 +185,129 @@ impl Oracle {
     }
 }
 
+/// Window clause for one relation of a [`WindowedOracle`] — mirrors the
+/// engine facade's window kinds without depending on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleWindow {
+    /// `ROWS n`: keep the most recent `n` tuples.
+    Count(usize),
+    /// `RANGE t`: keep tuples younger than `t` nanoseconds.
+    TimeNs(u64),
+    /// No window; the relation shrinks only via explicit deletes fed through
+    /// [`WindowedOracle::apply`].
+    Unbounded,
+}
+
+enum OracleWindowState {
+    Count(CountWindow),
+    Time(TimeWindow),
+    Unbounded,
+}
+
+/// A clock-aware oracle for append-only streams: owns the *same*
+/// [`CountWindow`]/[`TimeWindow`] operators the engine facade uses, so the
+/// insert/delete update stream it derives — including expiry timing and the
+/// delete-before-insert order at a full count window — is identical to the
+/// engine's by construction. Differential runs against `StreamJoin` (or any
+/// windowed executor) therefore need no output filtering: every retraction
+/// the executor emits for a window expiry is matched by an oracle delta.
+pub struct WindowedOracle {
+    oracle: Oracle,
+    windows: Vec<OracleWindowState>,
+    last_ts: u64,
+}
+
+impl WindowedOracle {
+    /// An empty windowed oracle; `specs` gives one window clause per
+    /// relation, in relation-id order.
+    ///
+    /// # Panics
+    /// Panics if `specs` does not cover every relation exactly once.
+    pub fn new(query: QuerySchema, specs: &[OracleWindow]) -> WindowedOracle {
+        assert_eq!(
+            specs.len(),
+            query.num_relations(),
+            "one window spec per relation"
+        );
+        let windows = specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| match spec {
+                OracleWindow::Count(n) => {
+                    OracleWindowState::Count(CountWindow::new(RelId(i as u16), *n))
+                }
+                OracleWindow::TimeNs(t) => {
+                    OracleWindowState::Time(TimeWindow::new(RelId(i as u16), *t))
+                }
+                OracleWindow::Unbounded => OracleWindowState::Unbounded,
+            })
+            .collect();
+        WindowedOracle {
+            oracle: Oracle::new(query),
+            windows,
+            last_ts: 0,
+        }
+    }
+
+    /// The wrapped un-windowed oracle (current relation contents).
+    pub fn oracle(&self) -> &Oracle {
+        &self.oracle
+    }
+
+    /// Push one arriving tuple through its window and return the canonical
+    /// result deltas — expirations (negative rows) first, then the insert's
+    /// rows, exactly as the engine emits them.
+    ///
+    /// # Panics
+    /// Panics if `ts` goes backwards (§3.1 requires a global arrival order).
+    pub fn push(&mut self, rel: RelId, data: TupleData, ts: u64) -> Vec<(Op, CanonicalRow)> {
+        assert!(ts >= self.last_ts, "timestamps must be nondecreasing");
+        self.last_ts = ts;
+        let updates = match &mut self.windows[rel.0 as usize] {
+            OracleWindowState::Count(w) => w.push(StreamElement::new(rel, data, ts)),
+            OracleWindowState::Time(w) => w.push(StreamElement::new(rel, data, ts)),
+            OracleWindowState::Unbounded => vec![Update::insert(rel, data, ts)],
+        };
+        let mut out = Vec::new();
+        for u in &updates {
+            out.extend(self.oracle.apply_and_delta(u));
+        }
+        out
+    }
+
+    /// Advance the clock on time-windowed relations without pushing tuples,
+    /// returning the expiry deltas.
+    ///
+    /// # Panics
+    /// Panics if `now` goes backwards.
+    pub fn advance_time(&mut self, now: u64) -> Vec<(Op, CanonicalRow)> {
+        assert!(now >= self.last_ts, "timestamps must be nondecreasing");
+        self.last_ts = now;
+        let mut expired = Vec::new();
+        for w in &mut self.windows {
+            if let OracleWindowState::Time(tw) = w {
+                expired.extend(tw.expire(now));
+            }
+        }
+        let mut out = Vec::new();
+        for u in &expired {
+            out.extend(self.oracle.apply_and_delta(u));
+        }
+        out
+    }
+
+    /// Apply a raw update (explicit delete on an unbounded relation —
+    /// materialized-view maintenance mode), bypassing the windows.
+    ///
+    /// # Panics
+    /// Panics if the update's timestamp goes backwards.
+    pub fn apply(&mut self, u: &Update) -> Vec<(Op, CanonicalRow)> {
+        assert!(u.ts >= self.last_ts, "timestamps must be nondecreasing");
+        self.last_ts = u.ts;
+        self.oracle.apply_and_delta(u)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,6 +407,72 @@ mod tests {
         assert!(multiset_diff(&a, &b).is_empty(), "order-insensitive");
         let c = vec![(Op::Insert, row1)];
         assert!(!multiset_diff(&a, &c).is_empty());
+    }
+
+    #[test]
+    fn windowed_oracle_count_expiry_retracts_results() {
+        let mut o = WindowedOracle::new(QuerySchema::chain3(), &[OracleWindow::Count(2); 3]);
+        o.push(RelId(0), TupleData::ints(&[1]), 0);
+        o.push(RelId(1), TupleData::ints(&[1, 2]), 1);
+        let d = o.push(RelId(2), TupleData::ints(&[2]), 2);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].0, Op::Insert);
+        // Two more R arrivals evict R=⟨1⟩: the result is retracted even
+        // though neither arriving tuple joins — this is the delta an engine
+        // with identical windows must also emit.
+        o.push(RelId(0), TupleData::ints(&[5]), 3);
+        let d = o.push(RelId(0), TupleData::ints(&[6]), 4);
+        let deletes = d.iter().filter(|(op, _)| *op == Op::Delete).count();
+        assert_eq!(deletes, 1, "window expiry retracts the join result");
+    }
+
+    #[test]
+    fn windowed_oracle_count_full_window_delete_precedes_insert() {
+        // A full count window's eviction is applied before the insert at the
+        // same timestamp — the relation never transiently exceeds w, matching
+        // CountWindow's ordering exactly.
+        let mut o = WindowedOracle::new(QuerySchema::chain3(), &[OracleWindow::Count(1); 3]);
+        o.push(RelId(0), TupleData::ints(&[1]), 0);
+        o.push(RelId(1), TupleData::ints(&[1, 2]), 1);
+        o.push(RelId(2), TupleData::ints(&[2]), 2);
+        // New R=⟨1⟩ (same value) evicts old R=⟨1⟩: a retraction then a
+        // re-assertion of the same row, in that order.
+        let d = o.push(RelId(0), TupleData::ints(&[1]), 3);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].0, Op::Delete);
+        assert_eq!(d[1].0, Op::Insert);
+    }
+
+    #[test]
+    fn windowed_oracle_time_windows_and_advance() {
+        let mut o = WindowedOracle::new(QuerySchema::chain3(), &[OracleWindow::TimeNs(100); 3]);
+        o.push(RelId(0), TupleData::ints(&[1]), 0);
+        o.push(RelId(1), TupleData::ints(&[1, 2]), 10);
+        assert_eq!(o.push(RelId(2), TupleData::ints(&[2]), 20).len(), 1);
+        let d = o.advance_time(500);
+        let deletes = d.iter().filter(|(op, _)| *op == Op::Delete).count();
+        assert_eq!(deletes, 1, "expiry retracts the result");
+        assert!(o.advance_time(600).is_empty(), "idempotent");
+        assert!(o.oracle().full_join().is_empty());
+    }
+
+    #[test]
+    fn windowed_oracle_unbounded_with_explicit_deletes() {
+        let mut o = WindowedOracle::new(QuerySchema::chain3(), &[OracleWindow::Unbounded; 3]);
+        o.push(RelId(0), TupleData::ints(&[1]), 0);
+        o.push(RelId(1), TupleData::ints(&[1, 2]), 1);
+        assert_eq!(o.push(RelId(2), TupleData::ints(&[2]), 2).len(), 1);
+        let d = o.apply(&Update::delete(RelId(1), TupleData::ints(&[1, 2]), 3));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].0, Op::Delete);
+    }
+
+    #[test]
+    #[should_panic(expected = "timestamps must be nondecreasing")]
+    fn windowed_oracle_backwards_time_panics() {
+        let mut o = WindowedOracle::new(QuerySchema::chain3(), &[OracleWindow::Count(4); 3]);
+        o.push(RelId(0), TupleData::ints(&[1]), 100);
+        o.push(RelId(0), TupleData::ints(&[2]), 50);
     }
 
     #[test]

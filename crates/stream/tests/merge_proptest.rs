@@ -1,0 +1,82 @@
+//! Property check: the heap-based k-way merge must agree *exactly* with the
+//! sort-based reference — order by key, ties broken by run index, then by
+//! within-run position (stability).
+
+use acq_stream::merge::{merge_by_timestamp, merge_ordered_runs};
+use acq_stream::{Op, RelId, TupleData, Update};
+use proptest::prelude::*;
+
+/// Sorted runs of `(key, payload)` pairs; payloads make equal keys
+/// distinguishable so stability violations are visible.
+fn runs_strategy() -> impl Strategy<Value = Vec<Vec<(u32, u32)>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(0u32..16, 0..24).prop_map(|mut keys| {
+            keys.sort_unstable();
+            keys.into_iter()
+                .enumerate()
+                .map(|(pos, k)| (k, pos as u32))
+                .collect::<Vec<_>>()
+        }),
+        0..6,
+    )
+}
+
+/// The reference: tag every element with `(key, run, pos)` and stable-sort.
+fn reference_merge(runs: &[Vec<(u32, u32)>]) -> Vec<(u32, u32)> {
+    let mut tagged: Vec<(u32, usize, usize, (u32, u32))> = Vec::new();
+    for (run, r) in runs.iter().enumerate() {
+        for (pos, &item) in r.iter().enumerate() {
+            tagged.push((item.0, run, pos, item));
+        }
+    }
+    tagged.sort_by_key(|&(k, run, pos, _)| (k, run, pos));
+    tagged.into_iter().map(|(_, _, _, item)| item).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn heap_merge_equals_sort_based_reference(runs in runs_strategy()) {
+        let expected = reference_merge(&runs);
+        let merged = merge_ordered_runs(runs, |&(k, _)| k);
+        prop_assert_eq!(merged, expected);
+    }
+
+    #[test]
+    fn timestamp_merge_is_a_stable_global_order(
+        lens in proptest::collection::vec(0usize..12, 1..4),
+    ) {
+        // Build per-stream update runs with deliberately colliding
+        // timestamps (ts = i / 2) so the tie rules are exercised.
+        let streams: Vec<Vec<Update>> = lens
+            .iter()
+            .enumerate()
+            .map(|(s, &len)| {
+                (0..len)
+                    .map(|i| Update {
+                        rel: RelId(s as u16),
+                        op: Op::Insert,
+                        data: TupleData::ints(&[i as i64]),
+                        ts: (i / 2) as u64,
+                    })
+                    .collect()
+            })
+            .collect();
+        let merged = merge_by_timestamp(streams.clone());
+        prop_assert_eq!(merged.len(), lens.iter().sum::<usize>());
+        // Nondecreasing timestamps…
+        prop_assert!(merged.windows(2).all(|w| w[0].ts <= w[1].ts));
+        // …and within one (ts, stream) class the original order survives.
+        for (s, stream) in streams.iter().enumerate() {
+            let sub: Vec<&Update> = merged
+                .iter()
+                .filter(|u| u.rel == RelId(s as u16))
+                .collect();
+            prop_assert_eq!(sub.len(), stream.len());
+            for (a, b) in sub.iter().zip(stream) {
+                prop_assert_eq!(&a.data, &b.data);
+            }
+        }
+    }
+}

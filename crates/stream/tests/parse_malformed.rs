@@ -1,0 +1,109 @@
+//! Malformed-input rejection for the query parser: every broken input must
+//! come back as a positioned `ParseError`, never a panic or a silently
+//! wrong schema.
+
+use acq_stream::parse_query;
+
+/// Assert `src` is rejected and the reported offset lies inside (or just
+/// past) the input, so editors can point at it.
+fn rejected(src: &str) -> (String, usize) {
+    match parse_query(src) {
+        Err(e) => {
+            assert!(
+                e.offset <= src.len(),
+                "offset {} outside {:?} (len {})",
+                e.offset,
+                src,
+                src.len()
+            );
+            (e.message, e.offset)
+        }
+        Ok(q) => panic!("{src:?} parsed into a {}-relation schema", q.num_relations()),
+    }
+}
+
+#[test]
+fn empty_and_whitespace_inputs() {
+    rejected("");
+    rejected("   \t\n ");
+}
+
+#[test]
+fn single_relation_is_not_a_join() {
+    let (msg, _) = rejected("R(A)");
+    assert!(msg.contains("at least two relations"), "{msg}");
+}
+
+#[test]
+fn truncated_inputs() {
+    // Every prefix of a valid query that ends mid-production must fail, and
+    // the error must point at (or past) the truncation, not byte 0.
+    let full = "R(A) JOIN S(A) ON R.A = S.A";
+    for cut in ["R", "R(", "R(A", "R(A)", "R(A) JOIN", "R(A) JOIN S(A)",
+        "R(A) JOIN S(A) ON", "R(A) JOIN S(A) ON R.A", "R(A) JOIN S(A) ON R.A ="]
+    {
+        assert!(full.starts_with(cut));
+        let (_, offset) = rejected(cut);
+        assert!(offset >= cut.trim_end().len().min(2), "{cut:?} reported offset {offset}");
+    }
+}
+
+#[test]
+fn empty_column_list() {
+    rejected("R() JOIN S(A) ON R.A = S.A");
+}
+
+#[test]
+fn unknown_relation_in_predicate() {
+    let (msg, offset) = rejected("R(A) JOIN S(A) ON R.A = T.A");
+    assert!(msg.contains("unknown relation"), "{msg}");
+    assert_eq!(offset, "R(A) JOIN S(A) ON R.A = ".len());
+}
+
+#[test]
+fn unknown_column_in_predicate() {
+    let (msg, _) = rejected("R(A) JOIN S(A) ON R.A = S.B");
+    assert!(msg.contains("no column"), "{msg}");
+}
+
+#[test]
+fn duplicate_relation_names() {
+    let (msg, _) = rejected("R(A) JOIN R(A) ON R.A = R.A");
+    assert!(msg.contains("duplicate relation"), "{msg}");
+}
+
+#[test]
+fn illegal_characters_report_their_position() {
+    let (msg, offset) = rejected("R(A) JOIN S(A) ON R.A = S.A; DROP");
+    assert!(msg.contains("unexpected character"), "{msg}");
+    assert_eq!(offset, "R(A) JOIN S(A) ON R.A = S.A".len());
+    rejected("R(A) % S(A)");
+    rejected("R(A) JOIN S(A) ON R.A < S.A");
+}
+
+#[test]
+fn keywords_cannot_name_things() {
+    // `JOIN` lexes as a keyword, so it can never serve as an identifier.
+    rejected("JOIN(A) JOIN S(A) ON JOIN.A = S.A");
+    rejected("R(ON) JOIN S(A) ON R.ON = S.A");
+}
+
+#[test]
+fn trailing_garbage_after_valid_query() {
+    rejected("R(A) JOIN S(A) ON R.A = S.A extra");
+    rejected("R(A) JOIN S(A) ON R.A = S.A )");
+}
+
+#[test]
+fn predicate_missing_and_between_conjuncts() {
+    rejected("R(A,B) JOIN S(A,B) ON R.A = S.A R.B = S.B");
+}
+
+#[test]
+fn non_ascii_is_either_valid_or_cleanly_rejected() {
+    // The lexer must never split a multi-byte character (no panics); `⋈` is
+    // the one non-ASCII token with meaning.
+    assert!(parse_query("R(A) ⋈ S(A) ON R.A = S.A").is_ok());
+    rejected("R(α) JOIN S(α) ON R.α = S.β");
+    rejected("R(A) ⋈⋈ S(A) ON R.A = S.A");
+}

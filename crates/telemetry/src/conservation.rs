@@ -1,0 +1,99 @@
+//! Counter conservation laws.
+//!
+//! A snapshot's counters are redundant by construction: the engine bumps
+//! aggregate counters (`engine.cache_hits`) on the same code paths that bump
+//! per-cache counters (`cache.hits` per candidate label), and sharded runs
+//! merge per-shard snapshots whose totals must sum to the single-shard run's.
+//! A [`ConservationLaw`] names one such redundancy so differential harnesses
+//! can assert it mechanically: if the two sides of a law disagree, some code
+//! path updated one counter and skipped its twin — exactly the class of bug
+//! (a maintenance path silently dropped) adaptive caching is prone to.
+
+use crate::snapshot::TelemetrySnapshot;
+
+/// One conservation law: the sum of all `Counter` metrics named
+/// `aggregate` must equal the sum of all `Counter` metrics named
+/// `per_component` (across label sets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConservationLaw {
+    /// Name of the aggregate counter (e.g. `engine.cache_hits`).
+    pub aggregate: &'static str,
+    /// Name of the per-component counter it must equal in total
+    /// (e.g. `cache.hits`, summed over every cache label).
+    pub per_component: &'static str,
+}
+
+impl ConservationLaw {
+    /// Check this law against a snapshot; `None` means it holds, `Some`
+    /// carries a human-readable violation description.
+    pub fn check(&self, snap: &TelemetrySnapshot) -> Option<String> {
+        let lhs = snap.counter_total(self.aggregate);
+        let rhs = snap.counter_total(self.per_component);
+        if lhs == rhs {
+            None
+        } else {
+            Some(format!(
+                "conservation violated: Σ {} = {} but Σ {} = {}",
+                self.aggregate, lhs, self.per_component, rhs
+            ))
+        }
+    }
+}
+
+/// The engine's built-in conservation laws: aggregate cache hit/miss
+/// counters equal the per-cache totals. Checked by the conformance harness
+/// after every run and after every shard merge.
+pub const ENGINE_LAWS: &[ConservationLaw] = &[
+    ConservationLaw {
+        aggregate: "engine.cache_hits",
+        per_component: "cache.hits",
+    },
+    ConservationLaw {
+        aggregate: "engine.cache_misses",
+        per_component: "cache.misses",
+    },
+];
+
+/// Check a set of laws, returning every violation (empty = all hold).
+pub fn check_laws(snap: &TelemetrySnapshot, laws: &[ConservationLaw]) -> Vec<String> {
+    laws.iter().filter_map(|l| l.check(snap)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn law_holds_on_balanced_snapshot() {
+        let mut s = TelemetrySnapshot::new();
+        s.counter("engine.cache_hits", &[], 7);
+        s.counter("cache.hits", &[("cache", "a")], 4);
+        s.counter("cache.hits", &[("cache", "b")], 3);
+        assert!(check_laws(&s, ENGINE_LAWS).is_empty());
+    }
+
+    #[test]
+    fn law_flags_imbalance() {
+        let mut s = TelemetrySnapshot::new();
+        s.counter("engine.cache_hits", &[], 7);
+        s.counter("cache.hits", &[("cache", "a")], 4);
+        let v = check_laws(&s, ENGINE_LAWS);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("engine.cache_hits"), "{}", v[0]);
+    }
+
+    #[test]
+    fn laws_survive_merge() {
+        // Conservation is preserved by snapshot merge: if it holds per
+        // shard, it holds for the merged snapshot (counters sum).
+        let mut a = TelemetrySnapshot::new();
+        a.counter("engine.cache_misses", &[], 2);
+        a.counter("cache.misses", &[("cache", "x")], 2);
+        let mut b = TelemetrySnapshot::new();
+        b.counter("engine.cache_misses", &[], 5);
+        b.counter("cache.misses", &[("cache", "x")], 1);
+        b.counter("cache.misses", &[("cache", "y")], 4);
+        a.merge(&b);
+        assert!(check_laws(&a, ENGINE_LAWS).is_empty());
+    }
+}

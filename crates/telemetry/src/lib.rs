@@ -26,10 +26,12 @@
 
 #![warn(missing_docs)]
 
+mod conservation;
 mod event;
 mod metric;
 mod snapshot;
 
+pub use conservation::{check_laws, ConservationLaw, ENGINE_LAWS};
 pub use event::{Event, EventLog, FieldValue};
 pub use metric::{Counter, Gauge, Histogram, RateWindow, HISTOGRAM_BUCKETS};
 pub use snapshot::{Metric, MetricValue, TelemetrySnapshot, MAX_HISTOGRAM_BUCKETS};

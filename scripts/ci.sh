@@ -17,6 +17,11 @@ fail=0
 run cargo build --release --offline --workspace || fail=1
 run cargo test -q --offline --workspace || fail=1
 
+# Conformance sweep (tier 2, see TESTING.md): a short fixed-seed sweep
+# plus a replay of every committed corpus reproducer. Fails if any sweep
+# point diverges from the oracle or a corpus case is no longer green.
+run cargo run --release --offline -q -p acq-harness -- --seed 1 --cases 6 --check-corpus --no-write || fail=1
+
 # Documentation gate: every public item is documented (missing_docs is
 # enabled crate-side) and rustdoc warnings are errors.
 run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace || fail=1

@@ -134,3 +134,25 @@ proptest! {
         prop_assert!(store.len() <= store.num_buckets());
     }
 }
+
+// Deterministic replay of tests/cache_store_model.proptest-regressions
+// (cc6e66d0…): Create{9,[19]} → Insert{9,19} → Delete{9,19} → Probe{9}
+// on a 1-bucket store. After create + insert the witness count for id 19
+// is 2, so a single delete must leave it *visible*. The historical model
+// tracked values as a set and removed the id on the first delete, then
+// flagged the (correct) store as inconsistent. The model above counts
+// witnesses, matching §6's globally-consistent semantics.
+#[test]
+fn regression_single_delete_keeps_double_witnessed_entry() {
+    let mut store = CacheStore::new(1);
+    store.create(key_of(9), vec![(comp(19), 1)]);
+    store.insert(&key_of(9), comp(19), 1);
+    store.delete(&key_of(9), &comp(19), 1);
+    let entry = store.probe(&key_of(9)).expect("entry must survive");
+    let ids: Vec<u64> = entry.composites().map(|c| c.identity()[0].1).collect();
+    assert_eq!(ids, vec![19]);
+    // The second delete exhausts the witness count and hides the id.
+    store.delete(&key_of(9), &comp(19), 1);
+    let entry = store.probe(&key_of(9)).expect("key entry persists");
+    assert_eq!(entry.composites().count(), 0);
+}

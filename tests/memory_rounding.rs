@@ -1,0 +1,124 @@
+//! §5 memory allocation after LP-based selection: rounding a fractional
+//! selection to page grants must never exceed the byte budget, and partial
+//! grants must respect the minimum-useful-fraction floor.
+
+use acq::memory::{allocate, MemoryConfig, MemoryRequest, MIN_GRANT_FRACTION};
+use acq::select::{solve_randomized, CacheChoice, SelectionInstance};
+use proptest::prelude::*;
+
+/// A small shared-group selection instance driven by a flat random vector
+/// (mirrors the strategy in `selection_algorithms.rs`, but sized for the
+/// allocator rather than solver cross-checks).
+fn instance_strategy() -> impl Strategy<Value = SelectionInstance> {
+    (
+        proptest::collection::vec(proptest::collection::vec(10.0f64..100.0, 2..4), 1..3),
+        proptest::collection::vec(0.0f64..1.0, 16),
+    )
+        .prop_map(|(op_proc, randoms)| {
+            let mut r = randoms.into_iter().cycle();
+            let mut next = move || r.next().unwrap();
+            let mut choices = Vec::new();
+            for (pi, pipeline) in op_proc.iter().enumerate() {
+                let len = pipeline.len();
+                for &(s, e) in &[(0usize, len - 1), (0usize, 0usize)] {
+                    let covered: f64 = pipeline[s..=e].iter().sum();
+                    let proc = next() * covered;
+                    choices.push(CacheChoice {
+                        id: choices.len(),
+                        pipeline: pi,
+                        start: s,
+                        end: e,
+                        benefit: covered - proc,
+                        proc,
+                        group: choices.len() % 3,
+                    });
+                }
+            }
+            SelectionInstance {
+                op_proc,
+                choices,
+                group_cost: vec![5.0, 11.0, 17.0],
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn rounded_selection_never_exceeds_budget(
+        inst in instance_strategy(),
+        seed in 0u64..1000,
+        budget_pages in 0usize..24,
+        page_shift in 6u32..13, // 64 B … 4 KiB pages
+        byte_scale in 1usize..40,
+    ) {
+        let page_bytes = 1usize << page_shift;
+        let sol = solve_randomized(&inst, seed);
+        prop_assert!(inst.is_feasible(&sol));
+
+        // One request per selected cache: net benefit from the instance,
+        // expected bytes loosely proportional to the span it covers.
+        let requests: Vec<MemoryRequest> = sol
+            .iter()
+            .map(|&i| {
+                let c = &inst.choices[i];
+                MemoryRequest {
+                    id: i,
+                    net_benefit: c.benefit - inst.group_cost[c.group],
+                    expected_bytes: (c.end - c.start + 1) * byte_scale * 97,
+                }
+            })
+            .collect();
+        let config = MemoryConfig {
+            page_bytes,
+            budget_bytes: Some(budget_pages * page_bytes),
+        };
+        let allocs = allocate(&config, &requests);
+        prop_assert_eq!(allocs.len(), requests.len());
+
+        let total: usize = allocs.iter().map(|a| a.bytes).sum();
+        prop_assert!(
+            total <= budget_pages * page_bytes,
+            "allocated {} over a budget of {}",
+            total,
+            budget_pages * page_bytes
+        );
+        for (a, r) in allocs.iter().zip(&requests) {
+            prop_assert_eq!(a.id, r.id);
+            prop_assert_eq!(a.bytes, a.pages * page_bytes, "grants are whole pages");
+            if a.pages > 0 {
+                let want = r.expected_bytes.div_ceil(page_bytes).max(1);
+                prop_assert!(
+                    a.pages as f64 >= want as f64 * MIN_GRANT_FRACTION,
+                    "grant below the useful-fraction floor"
+                );
+                prop_assert!(a.pages <= want, "over-allocation");
+                prop_assert!(r.net_benefit > 0.0, "negative-net cache granted memory");
+            }
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_grants_every_positive_request(
+        nets in proptest::collection::vec(-50.0f64..50.0, 1..8),
+    ) {
+        let requests: Vec<MemoryRequest> = nets
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| MemoryRequest {
+                id: i,
+                net_benefit: n,
+                expected_bytes: 1000 + i * 777,
+            })
+            .collect();
+        let allocs = allocate(&MemoryConfig::default(), &requests);
+        for (a, r) in allocs.iter().zip(&requests) {
+            if r.net_benefit > 0.0 {
+                prop_assert!(a.bytes >= r.expected_bytes, "full grant expected");
+            } else {
+                prop_assert_eq!(a.pages, 0, "non-positive net must get nothing");
+            }
+        }
+    }
+}

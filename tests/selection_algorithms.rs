@@ -123,3 +123,36 @@ proptest! {
         prop_assert!(inst.net_objective(&sol) >= -1e-9);
     }
 }
+
+// Deterministic replay of tests/selection_algorithms.proptest-regressions
+// (446b7c4e…): two *identical* choices (ids 1 and 2 — same pipeline, same
+// span, same group) plus a small disjoint one. The heuristics used to
+// treat choice ids as implying disjoint spans and could emit both
+// duplicates, which `is_feasible` correctly rejects (overlapping spans in
+// one pipeline, Appendix B). Solvers must pick at most one duplicate and
+// still pay group 0's cost exactly once.
+#[test]
+fn regression_duplicate_choices_stay_feasible() {
+    let inst = SelectionInstance {
+        op_proc: vec![vec![10.0, 10.0], vec![10.0, 119.73537200912301]],
+        choices: vec![
+            CacheChoice { id: 0, pipeline: 0, start: 1, end: 1, benefit: 10.0, proc: 0.0, group: 0 },
+            CacheChoice { id: 1, pipeline: 1, start: 0, end: 1, benefit: 129.735372009123, proc: 0.0, group: 0 },
+            CacheChoice { id: 2, pipeline: 1, start: 0, end: 1, benefit: 129.735372009123, proc: 0.0, group: 0 },
+        ],
+        group_cost: vec![10.0, 23.0, 36.0, 49.0],
+    };
+    let sols = [
+        ("exhaustive", solve_exhaustive(&inst)),
+        ("greedy", solve_greedy(&inst)),
+        ("randomized", solve_randomized(&inst, 99)),
+        ("recursive", solve_recursive(&inst)),
+    ];
+    let opt_net = inst.net_objective(&sols[0].1);
+    // Both disjoint choices are profitable: optimum takes {0, one dup}.
+    assert!((opt_net - (10.0 + 129.735372009123 - 10.0)).abs() < 1e-9);
+    for (name, sol) in &sols {
+        assert!(inst.is_feasible(sol), "{} infeasible: {:?}", name, sol);
+        assert!(inst.net_objective(sol) <= opt_net + 1e-9, "{} beat exhaustive", name);
+    }
+}
