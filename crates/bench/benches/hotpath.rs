@@ -1,0 +1,372 @@
+//! Hot-path throughput and allocation-rate bench.
+//!
+//! Measures **host wall-clock** steady-state throughput (ns/update) and
+//! heap allocations per update for the per-update execution path, on the
+//! paper's two canonical query shapes:
+//!
+//! * `chain3` — the §7.2 default 3-way chain `R(A) ⋈ S(A,B) ⋈ T(B)`,
+//!   int-only columns (the acceptance workload for the allocation-free
+//!   hot path), and
+//! * `star4` — the Figure 9 star join with mixed join-attribute
+//!   multiplicity,
+//!
+//! each through a single [`AdaptiveJoinEngine`] and a 4-shard
+//! [`ShardedEngine`]. Unlike the figure experiments (which charge work to
+//! deterministic *virtual* clocks to stay machine-independent), this bench
+//! deliberately reports wall time: allocation cost is exactly the thing the
+//! virtual cost model does not charge for, and the before/after comparison
+//! is run on the same machine.
+//!
+//! Results are merged into `BENCH_hotpath.json` under a section named by
+//! `--label <name>` (default `current`; `baseline` is recorded once from
+//! the pre-optimization layout), so the file carries the perf trajectory
+//! across PRs. `--smoke` runs a 1-iteration-scale sanity pass for CI.
+
+use acq::engine::{AdaptiveJoinEngine, EngineConfig, ReoptInterval, SelectionStrategy};
+use acq::shard::{ShardConfig, ShardedEngine};
+use acq_gen::column::ColumnGen;
+use acq_gen::spec::{chain3_default, StreamSpec, Workload};
+use acq_mjoin::plan::PlanOrders;
+use acq_stream::{QuerySchema, Update};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Updates per ingestion batch (matches the shard_scaling bench).
+const CHUNK: usize = 8192;
+
+// ---------------------------------------------------------------------
+// Counting allocator: every heap allocation in the process is tallied so
+// the bench can report allocations per steady-state update.
+
+struct CountingAlloc;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_snapshot() -> (u64, u64) {
+    (
+        ALLOC_COUNT.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Workloads
+
+fn chain3_workload(total: usize) -> (QuerySchema, Vec<Update>) {
+    (QuerySchema::chain3(), chain3_default(5, 100, 0xBEEF).generate(total))
+}
+
+fn star4_workload(total: usize) -> (QuerySchema, Vec<Update>) {
+    let n = 4usize;
+    let window = 60usize;
+    let q = QuerySchema::star(n);
+    let streams: Vec<StreamSpec> = (0..n as u16)
+        .map(|r| {
+            let mult = if (r as usize) < n / 2 { 1 } else { 5 };
+            let join_col = ColumnGen::BlockRandom {
+                domain: window as u64,
+                repeat: mult,
+                salt: 0xA5A5_0000 + r as u64,
+            };
+            StreamSpec::new(r, 1.0, window, vec![join_col, ColumnGen::seq()])
+        })
+        .collect();
+    (q, Workload::new(streams, 0x5CA1E).generate(total))
+}
+
+fn config() -> EngineConfig {
+    EngineConfig {
+        selection: SelectionStrategy::Auto,
+        reopt_interval: ReoptInterval::VirtualNs(2_000_000_000),
+        ..Default::default()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Measurement
+
+struct Measured {
+    updates: usize,
+    ns_per_update: f64,
+    updates_per_sec: f64,
+    allocs_per_update: f64,
+    alloc_bytes_per_update: f64,
+    deltas: u64,
+}
+
+enum Exec {
+    // Boxed to keep the variants comparable in size (the engine is a large
+    // flat struct; the sharded executor is mostly thread handles).
+    Single(Box<AdaptiveJoinEngine>),
+    Sharded(ShardedEngine),
+}
+
+impl Exec {
+    fn build(q: &QuerySchema, shards: usize) -> Exec {
+        if shards == 1 {
+            Exec::Single(Box::new(AdaptiveJoinEngine::with_config(
+                q.clone(),
+                PlanOrders::identity(q),
+                config(),
+            )))
+        } else {
+            Exec::Sharded(ShardedEngine::with_config(
+                q.clone(),
+                PlanOrders::identity(q),
+                config(),
+                ShardConfig {
+                    num_shards: shards,
+                    partition_class: None,
+                },
+            ))
+        }
+    }
+
+    fn feed(&mut self, updates: &[Update]) -> u64 {
+        let mut deltas = 0u64;
+        for chunk in updates.chunks(CHUNK) {
+            deltas += match self {
+                Exec::Single(e) => e.process_batch(chunk).len() as u64,
+                Exec::Sharded(e) => e.process_batch(chunk).len() as u64,
+            };
+        }
+        deltas
+    }
+}
+
+/// Warm the engine over a stream prefix (windows fill, plans settle), then
+/// time the steady-state suffix.
+fn run(q: &QuerySchema, updates: &[Update], shards: usize, warmup: usize) -> Measured {
+    let mut e = Exec::build(q, shards);
+    let warmup = warmup.min(updates.len() / 2);
+    let warm_deltas = e.feed(&updates[..warmup]);
+    std::hint::black_box(warm_deltas);
+    let steady = &updates[warmup..];
+    let (a0, b0) = alloc_snapshot();
+    let t0 = Instant::now();
+    let deltas = e.feed(steady);
+    let elapsed = t0.elapsed();
+    let (a1, b1) = alloc_snapshot();
+    std::hint::black_box(deltas);
+    let n = steady.len() as f64;
+    // HOTPATH_COUNTERS=1: dump engine counters so per-update work (probes,
+    // hits, misses) can be inspected when chasing regressions.
+    if std::env::var_os("HOTPATH_COUNTERS").is_some() {
+        if let Exec::Single(e) = &e {
+            let c = e.counters();
+            eprintln!(
+                "counters: tuples={} outputs={} cache_hits={} cache_misses={} \
+                 reopts={} ({:.3} hits/update, {:.4} misses/update)",
+                c.tuples_processed,
+                c.outputs_emitted,
+                c.cache_hits,
+                c.cache_misses,
+                c.reoptimizations,
+                c.cache_hits as f64 / c.tuples_processed as f64,
+                c.cache_misses as f64 / c.tuples_processed as f64,
+            );
+        }
+    }
+    Measured {
+        updates: steady.len(),
+        ns_per_update: elapsed.as_nanos() as f64 / n,
+        updates_per_sec: n / elapsed.as_secs_f64(),
+        allocs_per_update: (a1 - a0) as f64 / n,
+        alloc_bytes_per_update: (b1 - b0) as f64 / n,
+        deltas,
+    }
+}
+
+// ---------------------------------------------------------------------
+// BENCH_hotpath.json merging (no JSON dep: the file format is our own, so
+// balanced-brace extraction of the other labels' sections is safe).
+
+/// Extract the `"label": { ... }` object text for every top-level label in
+/// a previously written `BENCH_hotpath.json`.
+fn existing_sections(text: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    // Skip the outermost '{'.
+    let Some(start) = text.find('{') else {
+        return out;
+    };
+    let mut i = start + 1;
+    while i < bytes.len() {
+        // Find the next quoted label at depth 1.
+        let Some(q0) = text[i..].find('"').map(|p| i + p) else {
+            break;
+        };
+        let Some(q1) = text[q0 + 1..].find('"').map(|p| q0 + 1 + p) else {
+            break;
+        };
+        let label = text[q0 + 1..q1].to_string();
+        let Some(o) = text[q1..].find('{').map(|p| q1 + p) else {
+            break;
+        };
+        let mut depth = 0usize;
+        let mut end = None;
+        for (k, &c) in bytes.iter().enumerate().skip(o) {
+            match c {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = Some(k);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(end) = end else { break };
+        out.push((label, text[o..=end].to_string()));
+        i = end + 1;
+    }
+    out
+}
+
+fn scenario_json(m: &Measured) -> String {
+    format!(
+        "{{\n      \"updates\": {},\n      \"ns_per_update\": {:.1},\n      \
+         \"updates_per_sec\": {:.0},\n      \"allocs_per_update\": {:.3},\n      \
+         \"alloc_bytes_per_update\": {:.1},\n      \"deltas\": {}\n    }}",
+        m.updates, m.ns_per_update, m.updates_per_sec, m.allocs_per_update,
+        m.alloc_bytes_per_update, m.deltas
+    )
+}
+
+/// Pull a numeric field out of one of our own scenario objects.
+fn field_of(section: &str, scenario: &str, field: &str) -> Option<f64> {
+    let s0 = section.find(&format!("\"{scenario}\""))?;
+    let rest = &section[s0..];
+    let f0 = rest.find(&format!("\"{field}\""))?;
+    let after = &rest[f0..];
+    let colon = after.find(':')?;
+    let tail = after[colon + 1..].trim_start();
+    let end = tail
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+fn write_bench_json(label: &str, scenarios: &[(String, Measured)], smoke: bool) {
+    let path = "BENCH_hotpath.json";
+    let mut sections: Vec<(String, String)> = std::fs::read_to_string(path)
+        .map(|t| existing_sections(&t))
+        .unwrap_or_default();
+    let mut body = String::from("{\n");
+    body.push_str(&format!("    \"smoke\": {smoke},\n"));
+    for (i, (name, m)) in scenarios.iter().enumerate() {
+        body.push_str(&format!("    \"{name}\": {}", scenario_json(m)));
+        body.push_str(if i + 1 < scenarios.len() { ",\n" } else { "\n" });
+    }
+    body.push_str("  }");
+    match sections.iter_mut().find(|(l, _)| l == label) {
+        Some((_, s)) => *s = body,
+        None => sections.push((label.to_string(), body)),
+    }
+    let mut out = String::from("{\n");
+    for (i, (l, s)) in sections.iter().enumerate() {
+        out.push_str(&format!("  \"{l}\": {s}"));
+        out.push_str(if i + 1 < sections.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("}\n");
+    if let Err(e) = std::fs::write(path, &out) {
+        eprintln!("warning: cannot write {path}: {e}");
+        return;
+    }
+    println!("wrote {path} (section \"{label}\")");
+    // Headline ratio: single-shard chain3 throughput, current vs baseline.
+    let base = sections.iter().find(|(l, _)| l == "baseline");
+    let cur = sections.iter().find(|(l, _)| l == "current");
+    if let (Some((_, b)), Some((_, c))) = (base, cur) {
+        if let (Some(b_ns), Some(c_ns)) = (
+            field_of(b, "chain3/1shard", "ns_per_update"),
+            field_of(c, "chain3/1shard", "ns_per_update"),
+        ) {
+            println!(
+                "chain3/1shard speedup vs baseline: {:.2}x ({b_ns:.0} -> {c_ns:.0} ns/update)",
+                b_ns / c_ns
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke")
+        || std::env::var_os("HOTPATH_SMOKE").is_some();
+    let label = args
+        .iter()
+        .position(|a| a == "--label")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .or_else(|| std::env::var("BENCH_LABEL").ok())
+        .unwrap_or_else(|| "current".to_string());
+    // `--only <substr>` runs matching scenarios without touching the JSON —
+    // for quick A/B iterations and profiling single scenarios.
+    let only = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let (total, warmup) = if smoke { (3_000, 1_000) } else { (400_000, 50_000) };
+    type WorkloadFn = fn(usize) -> (QuerySchema, Vec<Update>);
+    let scenarios: Vec<(&str, WorkloadFn, usize)> = vec![
+        ("chain3/1shard", chain3_workload, 1),
+        ("chain3/4shard", chain3_workload, 4),
+        ("star4/1shard", star4_workload, 1),
+        ("star4/4shard", star4_workload, 4),
+    ];
+
+    println!(
+        "hotpath bench: {} steady-state updates per scenario ({} warmup){}",
+        total - warmup,
+        warmup,
+        if smoke { " [smoke]" } else { "" }
+    );
+    let mut results = Vec::new();
+    for (name, gen, shards) in scenarios {
+        if only.as_deref().is_some_and(|o| !name.contains(o)) {
+            continue;
+        }
+        let (q, updates) = gen(total);
+        let m = run(&q, &updates, shards, warmup);
+        println!(
+            "{name:>14}: {:>8.0} ns/update  {:>9.0} t/s  {:>7.2} allocs/update  \
+             {:>8.0} B/update  ({} deltas)",
+            m.ns_per_update, m.updates_per_sec, m.allocs_per_update,
+            m.alloc_bytes_per_update, m.deltas
+        );
+        results.push((name.to_string(), m));
+    }
+    if only.is_none() {
+        write_bench_json(&label, &results, smoke);
+    }
+}

@@ -15,11 +15,16 @@
 //! number of live witnesses in the `Y`-join and the composite is dropped when
 //! the count reaches zero.
 
-use acq_sketch::{FxHashMap, FxHasher};
-use acq_stream::{Composite, RelId, TupleId, Value};
+use acq_sketch::{BloomFilter, FxHashMap, FxHasher};
+use acq_stream::{Composite, CompositeId, RelId, TupleId, Value};
 use std::hash::Hasher;
 
 /// Hash a cache key (a projected value vector).
+///
+/// The hot path computes this **once** per probe key and threads it through
+/// [`CacheStore::probe_hashed`] / [`CacheStore::create_hashed`] /
+/// [`CacheStore::insert_hashed`] / [`CacheStore::delete_hashed`]; resident
+/// entries store it, so the map walk compares hashes before keys.
 pub fn hash_key(key: &[Value]) -> u64 {
     let mut h = FxHasher::default();
     for v in key {
@@ -28,23 +33,39 @@ pub fn hash_key(key: &[Value]) -> u64 {
     h.finish()
 }
 
-/// One cached entry: the key and the value multiset.
+/// One cached entry: the key (with its precomputed hash) and the value
+/// multiset.
 #[derive(Debug, Clone)]
 pub struct CacheEntry {
     key: Vec<Value>,
+    /// `hash_key(&key)`, computed when the entry was created. Probes compare
+    /// this before the key values, and re-hashing on resize is free.
+    hash: u64,
     /// Identity → (composite, witness count).
-    value: FxHashMap<Vec<(RelId, TupleId)>, (Composite, u32)>,
+    value: FxHashMap<CompositeId, (Composite, u32)>,
     bytes: usize,
 }
 
 impl CacheEntry {
-    fn new(key: Vec<Value>) -> CacheEntry {
+    fn new(key: Vec<Value>, hash: u64) -> CacheEntry {
         let bytes = 48 + key.iter().map(Value::memory_bytes).sum::<usize>();
         CacheEntry {
             key,
+            hash,
             value: FxHashMap::default(),
             bytes,
         }
+    }
+
+    /// Recycle a displaced entry's allocations (key vector, value map) for
+    /// a new key — the steady-state `create` path never touches the
+    /// allocator once the store has warmed up.
+    fn reset(&mut self, key: &[Value], hash: u64) {
+        self.key.clear();
+        self.key.extend_from_slice(key);
+        self.hash = hash;
+        self.value.clear();
+        self.bytes = 48 + key.iter().map(Value::memory_bytes).sum::<usize>();
     }
 
     /// Number of distinct composites in the value.
@@ -89,6 +110,13 @@ impl CacheEntry {
     }
 }
 
+/// Bits of Bloom filter per cache slot (the resident-key pre-filter).
+const BLOOM_BITS_PER_SLOT: usize = 16;
+
+fn resident_filter(slots: usize) -> BloomFilter {
+    BloomFilter::new((slots * BLOOM_BITS_PER_SLOT).max(64), 2)
+}
+
 /// Running statistics of a cache store.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CacheStats {
@@ -105,6 +133,9 @@ pub struct CacheStats {
     pub maintenance_applied: u64,
     /// Maintenance calls ignored (key absent — allowed by §3.2).
     pub maintenance_ignored: u64,
+    /// Misses answered by the resident-key Bloom pre-filter alone (no set
+    /// walk). A subset of `misses`.
+    pub bloom_filtered: u64,
 }
 
 impl CacheStats {
@@ -129,6 +160,7 @@ impl CacheStats {
         self.collisions += other.collisions;
         self.maintenance_applied += other.maintenance_applied;
         self.maintenance_ignored += other.maintenance_ignored;
+        self.bloom_filtered += other.bloom_filtered;
     }
 
     /// Emit these stats into a snapshot as `store.*` counters labelled with
@@ -142,6 +174,7 @@ impl CacheStats {
         s.counter("store.collisions", &labels, self.collisions);
         s.counter("store.maintenance_applied", &labels, self.maintenance_applied);
         s.counter("store.maintenance_ignored", &labels, self.maintenance_ignored);
+        s.counter("store.bloom_filtered", &labels, self.bloom_filtered);
     }
 }
 
@@ -162,6 +195,11 @@ pub struct CacheStore {
     ways: usize,
     /// Round-robin replacement cursor per set.
     cursor: Vec<u8>,
+    /// Resident-key Bloom pre-filter: every resident key's hash is set, so
+    /// a negative answer proves a miss without walking the set. Bits are
+    /// *not* cleared on eviction — stale bits only cost a (confirmed) walk,
+    /// never a false miss. Rebuilt on clear/resize.
+    resident: BloomFilter,
     stats: CacheStats,
     entries: usize,
     value_bytes: usize,
@@ -185,6 +223,7 @@ impl CacheStore {
             set_mask: sets as u64 - 1,
             ways,
             cursor: vec![0; sets],
+            resident: resident_filter(sets * ways),
             stats: CacheStats::default(),
             entries: 0,
             value_bytes: 0,
@@ -197,20 +236,44 @@ impl CacheStore {
     }
 
     #[inline]
-    fn set_of(&self, key: &[Value]) -> usize {
-        (acq_sketch::fx_hash_u64(hash_key(key)) & self.set_mask) as usize
+    fn set_of_hash(&self, hash: u64) -> usize {
+        (acq_sketch::fx_hash_u64(hash) & self.set_mask) as usize
+    }
+
+    /// Slot index holding `key` (whose hash is `hash`), if resident.
+    #[inline]
+    fn slot_of_hashed(&self, key: &[Value], hash: u64) -> Option<usize> {
+        let base = self.set_of_hash(hash) * self.ways;
+        (base..base + self.ways).find(|&i| {
+            self.buckets[i]
+                .as_ref()
+                .is_some_and(|e| e.hash == hash && e.key() == key)
+        })
     }
 
     /// Slot index holding `key`, if resident.
     #[inline]
     fn slot_of(&self, key: &[Value]) -> Option<usize> {
-        let base = self.set_of(key) * self.ways;
-        (base..base + self.ways).find(|&i| self.buckets[i].as_ref().is_some_and(|e| e.key() == key))
+        self.slot_of_hashed(key, hash_key(key))
     }
 
     /// `probe(u)` (§3.2): hit returns the entry, miss returns `None`.
     pub fn probe(&mut self, key: &[Value]) -> Option<&CacheEntry> {
-        match self.slot_of(key) {
+        self.probe_hashed(key, hash_key(key))
+    }
+
+    /// [`CacheStore::probe`] with the key hash computed by the caller
+    /// (hash-once discipline: the engine hashes the scratch probe key a
+    /// single time and reuses it for the probe and any following create).
+    /// Predicted misses are answered by the Bloom pre-filter without
+    /// walking the set.
+    pub fn probe_hashed(&mut self, key: &[Value], hash: u64) -> Option<&CacheEntry> {
+        if !self.resident.contains(hash) {
+            self.stats.misses += 1;
+            self.stats.bloom_filtered += 1;
+            return None;
+        }
+        match self.slot_of_hashed(key, hash) {
             Some(i) => {
                 self.stats.hits += 1;
                 self.buckets[i].as_ref()
@@ -236,36 +299,60 @@ impl CacheStore {
         key: Vec<Value>,
         composites: impl IntoIterator<Item = (Composite, u32)>,
     ) {
+        let hash = hash_key(&key);
+        self.create_hashed(&key, hash, composites);
+    }
+
+    /// [`CacheStore::create`] with a borrowed key and caller-computed hash.
+    /// A displaced entry's allocations (key vector, value map) are recycled
+    /// for the new entry, so the steady-state miss→create cycle does not
+    /// allocate.
+    pub fn create_hashed(
+        &mut self,
+        key: &[Value],
+        hash: u64,
+        composites: impl IntoIterator<Item = (Composite, u32)>,
+    ) {
         self.stats.creates += 1;
-        let set = self.set_of(&key);
+        let set = self.set_of_hash(hash);
         let base = set * self.ways;
         let slot = self
-            .slot_of(&key)
+            .slot_of_hashed(key, hash)
             .or_else(|| (base..base + self.ways).find(|&i| self.buckets[i].is_none()))
             .unwrap_or_else(|| {
                 let victim = base + self.cursor[set] as usize % self.ways;
                 self.cursor[set] = (self.cursor[set] + 1) % self.ways as u8;
                 victim
             });
-        if let Some(old) = self.buckets[slot].take() {
-            self.stats.collisions += 1;
-            self.entries -= 1;
-            self.value_bytes -= old.bytes;
-        }
-        let mut entry = CacheEntry::new(key);
+        let mut entry = match self.buckets[slot].take() {
+            Some(mut old) => {
+                self.stats.collisions += 1;
+                self.entries -= 1;
+                self.value_bytes -= old.bytes;
+                old.reset(key, hash);
+                old
+            }
+            None => CacheEntry::new(key.to_vec(), hash),
+        };
         for (c, count) in composites {
             entry.add(c, count);
         }
         self.value_bytes += entry.bytes;
         self.entries += 1;
         self.buckets[slot] = Some(entry);
+        self.resident.insert(hash);
     }
 
     /// `insert(u, r)` (§3.2): add `r` to the value of `u` if the key is
     /// cached; ignored otherwise. `count` is the witness multiplicity (1 for
     /// plain caches).
     pub fn insert(&mut self, key: &[Value], c: Composite, count: u32) {
-        match self.slot_of(key) {
+        self.insert_hashed(key, hash_key(key), c, count);
+    }
+
+    /// [`CacheStore::insert`] with a caller-computed key hash.
+    pub fn insert_hashed(&mut self, key: &[Value], hash: u64, c: Composite, count: u32) {
+        match self.slot_of_hashed(key, hash) {
             Some(i) => {
                 let e = self.buckets[i].as_mut().expect("slot_of returns occupied");
                 self.value_bytes -= e.bytes;
@@ -280,7 +367,12 @@ impl CacheStore {
     /// `delete(u, r)` (§3.2): remove `r` (or `count` witnesses of it) from
     /// the value of `u` if cached; ignored otherwise.
     pub fn delete(&mut self, key: &[Value], c: &Composite, count: u32) {
-        match self.slot_of(key) {
+        self.delete_hashed(key, hash_key(key), c, count);
+    }
+
+    /// [`CacheStore::delete`] with a caller-computed key hash.
+    pub fn delete_hashed(&mut self, key: &[Value], hash: u64, c: &Composite, count: u32) {
+        match self.slot_of_hashed(key, hash) {
             Some(i) => {
                 let e = self.buckets[i].as_mut().expect("slot_of returns occupied");
                 self.value_bytes -= e.bytes;
@@ -299,11 +391,7 @@ impl CacheStore {
         for slot in &mut self.buckets {
             let contains = slot
                 .as_ref()
-                .map(|e| {
-                    e.value
-                        .keys()
-                        .any(|idkey| idkey.iter().any(|&(r, t)| r == rel && t == id))
-                })
+                .map(|e| e.value.keys().any(|idkey| idkey.contains(rel, id)))
                 .unwrap_or(false);
             if contains {
                 let e = slot.take().expect("checked above");
@@ -350,6 +438,7 @@ impl CacheStore {
         }
         self.entries = 0;
         self.value_bytes = 0;
+        self.resident.clear();
     }
 
     /// Rebuild with a new bucket count (adaptive memory allocation, §5),
@@ -359,10 +448,11 @@ impl CacheStore {
     pub fn resize(&mut self, min_buckets: usize) {
         let mut fresh = CacheStore::with_associativity(min_buckets, self.ways);
         for entry in self.buckets.drain(..).flatten() {
-            let base = fresh.set_of(entry.key()) * fresh.ways;
+            let base = fresh.set_of_hash(entry.hash) * fresh.ways;
             if let Some(slot) = (base..base + fresh.ways).find(|&i| fresh.buckets[i].is_none()) {
                 fresh.entries += 1;
                 fresh.value_bytes += entry.bytes;
+                fresh.resident.insert(entry.hash);
                 fresh.buckets[slot] = Some(entry);
             }
         }
@@ -399,7 +489,10 @@ impl CacheStore {
         }
         for (i, e) in self.buckets.iter().enumerate() {
             let Some(e) = e else { continue };
-            let set = self.set_of(e.key());
+            if e.hash != hash_key(e.key()) {
+                problems.push(format!("stale stored hash for key {:?}", e.key()));
+            }
+            let set = self.set_of_hash(e.hash);
             let base = set * self.ways;
             if !(base..base + self.ways).contains(&i) {
                 problems.push(format!(
@@ -600,7 +693,7 @@ mod tests {
         let e = c.peek(&key(&[7])).unwrap();
         assert_eq!(e.len(), 1);
         assert_eq!(
-            e.composites().next().unwrap().identity()[0].1,
+            e.composites().next().unwrap().identity().pair(0).1,
             2,
             "newest value wins"
         );

@@ -33,7 +33,7 @@
 //! Figure 12 plan), so we trade a little maintenance work for correctness —
 //! see DESIGN.md.
 
-use crate::cache::{CacheStats, CacheStore};
+use crate::cache::{hash_key, CacheStats, CacheStore};
 use crate::candidates::{enumerate_candidates, Candidate, EnumerationConfig};
 use crate::cost::{benefit_cost, BenefitCost, CandidateEstimates};
 use crate::memory::{allocate, buckets_for, Allocation, MemoryConfig, MemoryRequest};
@@ -46,7 +46,7 @@ use acq_mjoin::plan::{CompiledOp, PlanOrders};
 use acq_mjoin::stats::OnlineStats;
 use acq_sketch::bloom::MissProbEstimator;
 use acq_sketch::WindowStat;
-use acq_stream::{Composite, Op, QuerySchema, RelId, Update, Value};
+use acq_stream::{Composite, CompositeId, Op, QuerySchema, RelId, Update, Value};
 use acq_telemetry::{Event, EventLog, Histogram, TelemetrySnapshot};
 
 /// Which offline selection algorithm the Re-optimizer runs.
@@ -326,6 +326,16 @@ pub struct AdaptiveJoinEngine {
     fruitless_streak: u32,
     /// Scratch buffers reused across updates.
     scratch_next: Vec<Composite>,
+    /// Reusable pipeline frontier buffer.
+    scratch_frontier: Vec<Composite>,
+    /// Reusable segment-walk frontier for cache misses.
+    scratch_seg: Vec<Composite>,
+    /// Partner buffer for the segment walk's swap loop.
+    scratch_seg_next: Vec<Composite>,
+    /// Reusable `create(u, v)` value staging buffer.
+    scratch_values: Vec<(Composite, u32)>,
+    /// Reusable per-operator profile record for sampled tuples.
+    scratch_profile: Vec<(f64, u64)>,
     /// Reusable probe/maintenance key buffer (avoids a `Vec<Value>`
     /// allocation per cache access).
     scratch_key: Vec<Value>,
@@ -403,6 +413,11 @@ impl AdaptiveJoinEngine {
             orderer: GreedyOrderer::default(),
             fruitless_streak: 0,
             scratch_next: Vec::new(),
+            scratch_frontier: Vec::new(),
+            scratch_seg: Vec::new(),
+            scratch_seg_next: Vec::new(),
+            scratch_values: Vec::new(),
+            scratch_profile: Vec::new(),
             scratch_key: Vec::new(),
             events: std::collections::VecDeque::new(),
             op_metrics: num_ops.iter().map(|&k| PipelineMetrics::new(k)).collect(),
@@ -684,6 +699,16 @@ impl AdaptiveJoinEngine {
 
     /// Process one update, returning the n-way join result deltas.
     pub fn process(&mut self, u: &Update) -> Vec<(Op, Composite)> {
+        let mut out = Vec::new();
+        self.process_into(u, &mut out);
+        out
+    }
+
+    /// [`AdaptiveJoinEngine::process`] writing deltas into a caller-owned
+    /// sink instead of returning a fresh vector. With a reused sink the
+    /// steady-state update path performs no heap allocation at all (see
+    /// `tests/alloc_regression.rs`).
+    pub fn process_into(&mut self, u: &Update, out: &mut Vec<(Op, Composite)>) {
         self.counters.tuples_processed += 1;
         self.profiler.record_update(u.rel);
         self.online.record_update(u.rel);
@@ -693,7 +718,7 @@ impl AdaptiveJoinEngine {
         // after removal — we need the removed tuple's id, so apply first).
         let Some(tref) = self.core.apply_update(u) else {
             self.maybe_housekeeping();
-            return Vec::new();
+            return;
         };
         self.online
             .record_size(u.rel, self.core.relation(u.rel).len());
@@ -713,14 +738,17 @@ impl AdaptiveJoinEngine {
         }
 
         let profiled = self.profiler.should_profile(u.rel);
-        let outputs = self.run_pipeline(pi, &plan, Composite::unit(tref), u.op, profiled);
+        // The pipeline writes `(op, composite)` deltas straight into the
+        // caller's sink — no staging vector, no second copy per delta.
+        let before = out.len();
+        self.run_pipeline(pi, &plan, Composite::unit(tref), u.op, profiled, out);
         self.plans[pi] = plan;
 
-        self.core.charge_outputs(outputs.len());
-        self.counters.outputs_emitted += outputs.len() as u64;
-        self.out_hist.record(outputs.len() as u64);
+        let produced = out.len() - before;
+        self.core.charge_outputs(produced);
+        self.counters.outputs_emitted += produced as u64;
+        self.out_hist.record(produced as u64);
         self.maybe_housekeeping();
-        outputs.into_iter().map(|c| (u.op, c)).collect()
     }
 
     /// Process a batch of updates in order, returning the concatenated
@@ -731,7 +759,7 @@ impl AdaptiveJoinEngine {
     pub fn process_batch(&mut self, updates: &[Update]) -> Vec<(Op, Composite)> {
         let mut out = Vec::new();
         for u in updates {
-            out.extend(self.process(u));
+            self.process_into(u, &mut out);
         }
         out
     }
@@ -744,7 +772,9 @@ impl AdaptiveJoinEngine {
     }
 
     /// Walk one composite through pipeline `pi`, honouring caches, taps, and
-    /// profiling.
+    /// profiling. Results are appended to `out` (a reused caller buffer —
+    /// this function performs no per-update allocation once scratch buffers
+    /// are warm).
     fn run_pipeline(
         &mut self,
         pi: usize,
@@ -752,14 +782,14 @@ impl AdaptiveJoinEngine {
         seed: Composite,
         op_kind: Op,
         profiled: bool,
-    ) -> Vec<Composite> {
+        out: &mut Vec<(Op, Composite)>,
+    ) {
         let num_ops = self.compiled[pi].len();
-        let mut frontier = vec![seed];
-        let mut profile_rec: Vec<(f64, u64)> = if profiled {
-            Vec::with_capacity(num_ops + 1)
-        } else {
-            Vec::new()
-        };
+        let mut frontier = std::mem::take(&mut self.scratch_frontier);
+        frontier.clear();
+        frontier.push(seed);
+        let mut profile_rec = std::mem::take(&mut self.scratch_profile);
+        profile_rec.clear();
         if profiled {
             self.core.charge(self.core.cost_model().profile_overhead);
         }
@@ -785,8 +815,11 @@ impl AdaptiveJoinEngine {
             // (c) CacheLookup (skipped for profiled tuples, §4.3/App. A).
             let lookup = if profiled { None } else { plan.lookup[j] };
             if let Some(ci) = lookup {
-                let (end, hit_out) = self.cache_segment(pi, ci, &frontier, op_kind);
-                frontier = hit_out;
+                let mut next = std::mem::take(&mut self.scratch_next);
+                next.clear();
+                let end = self.cache_segment(pi, ci, &mut frontier, op_kind, &mut next);
+                std::mem::swap(&mut frontier, &mut next);
+                self.scratch_next = next;
                 j = end + 1;
                 continue;
             }
@@ -796,9 +829,9 @@ impl AdaptiveJoinEngine {
             self.scratch_next.clear();
             let op = &self.compiled[pi][j];
             let mut next = std::mem::take(&mut self.scratch_next);
-            for c in &frontier {
+            for c in frontier.drain(..) {
                 let before = next.len();
-                self.core.probe_join(c, op, &mut next);
+                self.core.probe_join_owned(c, op, &mut next);
                 let total_preds = op.index_access.is_some() as usize + op.residual.len();
                 if total_preds == 1 {
                     let source = op
@@ -832,39 +865,52 @@ impl AdaptiveJoinEngine {
             self.profiler
                 .record_profiled(RelId(pi as u16), &profile_rec);
         }
-        frontier
+        self.scratch_profile = profile_rec;
+        out.extend(frontier.drain(..).map(|c| (op_kind, c)));
+        self.scratch_frontier = frontier;
     }
 
     /// Probe a used cache for every frontier composite; on miss, run the
-    /// covered segment and `create` the entry. Returns (segment end
-    /// position, resulting frontier).
+    /// covered segment and `create` the entry. Appends the resulting
+    /// frontier to `out` and returns the segment end position.
+    ///
+    /// Hash-once discipline: the probe key is assembled in a reused scratch
+    /// buffer and hashed a single time; the same hash serves the probe, the
+    /// Bloom pre-filter, and the `create` on a miss. Steady state allocates
+    /// nothing (displaced entries donate their buffers to new ones).
     fn cache_segment(
         &mut self,
         pi: usize,
         ci: usize,
-        frontier: &[Composite],
+        frontier: &mut Vec<Composite>,
         op_kind: Op,
-    ) -> (usize, Vec<Composite>) {
+        out: &mut Vec<Composite>,
+    ) -> usize {
         let (start, end, group, is_global) = {
             let c = &self.cands[ci].cand;
             (c.start, c.end, c.group, c.is_global())
         };
         // Move the candidate's attribute/segment lists out instead of
         // cloning them per call; nothing below reads `self.cands`, and both
-        // are restored before return.
+        // are restored before return. The store moves out likewise, so hit
+        // entries can be spliced into `out` without an intermediate clone of
+        // the whole value list.
         let key_attrs = std::mem::take(&mut self.cands[ci].cand.probe_attrs);
         let segment = std::mem::take(&mut self.cands[ci].cand.segment);
         let mut key = std::mem::take(&mut self.scratch_key);
+        let mut seg_frontier = std::mem::take(&mut self.scratch_seg);
+        let mut seg_next = std::mem::take(&mut self.scratch_seg_next);
+        let mut values = std::mem::take(&mut self.scratch_values);
+        let mut store = self.stores[group].take().expect("used cache has a store");
         let key_len = key_attrs.len();
         let model_probe = self.core.cost_model().cache_probe(key_len);
         let model_hit_per_tuple = self.core.cost_model().cache_hit_per_tuple;
-        let mut out = Vec::new();
         let mut hits = 0u64;
         let mut misses = 0u64;
         let mut hit_ns = 0u64;
         let mut miss_ns = 0u64;
 
-        for c in frontier {
+        for c in frontier.drain(..) {
             let t0 = self.core.now_ns();
             key.clear();
             key.extend(
@@ -872,50 +918,53 @@ impl AdaptiveJoinEngine {
                     .iter()
                     .map(|a| c.get(*a).expect("probe attrs bound in prefix").clone()),
             );
+            let hash = hash_key(&key);
             self.core.charge(model_probe);
-            let cached: Option<Vec<Composite>> = {
-                let store = self.stores[group].as_mut().expect("used cache has a store");
-                store.probe(&key).map(|e| e.composites().cloned().collect())
-            };
-            match cached {
-                Some(values) => {
+            match store.probe_hashed(&key, hash) {
+                Some(entry) => {
                     hits += 1;
-                    self.core.charge(values.len() as u64 * model_hit_per_tuple);
-                    for v in &values {
-                        out.push(c.concat(v));
+                    self.core.charge(entry.len() as u64 * model_hit_per_tuple);
+                    // Splice cached values onto the prefix; the prefix is
+                    // *moved* into the last splice instead of cloned.
+                    let mut c = Some(c);
+                    let mut it = entry.composites().peekable();
+                    while let Some(v) = it.next() {
+                        if it.peek().is_none() {
+                            out.push(c.take().unwrap().concat_owned(v));
+                        } else {
+                            out.push(c.as_ref().unwrap().concat(v));
+                        }
                     }
                     hit_ns += self.core.now_ns() - t0;
                 }
                 None => {
                     misses += 1;
-                    // Run the covered segment for this composite alone.
-                    let mut seg_frontier = vec![c.clone()];
-                    let mut next = Vec::new();
+                    // Run the covered segment for this composite alone
+                    // (seeded with the moved prefix — no clone).
+                    seg_frontier.clear();
+                    seg_frontier.push(c);
                     for op in &self.compiled[pi][start..=end] {
-                        next.clear();
-                        for f in &seg_frontier {
-                            self.core.probe_join(f, op, &mut next);
+                        seg_next.clear();
+                        for f in seg_frontier.drain(..) {
+                            self.core.probe_join_owned(f, op, &mut seg_next);
                         }
-                        std::mem::swap(&mut seg_frontier, &mut next);
+                        std::mem::swap(&mut seg_frontier, &mut seg_next);
                         if seg_frontier.is_empty() {
                             break;
                         }
                     }
                     // create(u, v): v restricted to segment relations.
-                    let values: Vec<(Composite, u32)> = seg_frontier
-                        .iter()
-                        .filter_map(|f| f.restrict(&segment))
-                        .map(|v| (v, 1))
-                        .collect();
+                    values.clear();
+                    values.extend(
+                        seg_frontier
+                            .iter()
+                            .filter_map(|f| f.restrict(&segment))
+                            .map(|v| (v, 1)),
+                    );
                     let create_cost = self.core.cost_model().cache_update(values.len());
-                    {
-                        let store = self.stores[group].as_mut().expect("store exists");
-                        // `create` needs an owned key — the only key
-                        // allocation left, paid on misses alone.
-                        store.create(key.clone(), values);
-                    }
+                    store.create_hashed(&key, hash, values.drain(..));
                     self.core.charge(create_cost);
-                    out.extend(seg_frontier);
+                    out.append(&mut seg_frontier);
                     miss_ns += self.core.now_ns() - t0;
                 }
             }
@@ -924,7 +973,11 @@ impl AdaptiveJoinEngine {
         // cached values reflect the current segment join (upper bound), and
         // the probing prefix tuple was already removed from its store.
         let _ = (op_kind, is_global);
+        self.stores[group] = Some(store);
         self.scratch_key = key;
+        self.scratch_seg = seg_frontier;
+        self.scratch_seg_next = seg_next;
+        self.scratch_values = values;
         self.cands[ci].cand.probe_attrs = key_attrs;
         self.cands[ci].cand.segment = segment;
         self.counters.cache_hits += hits;
@@ -933,7 +986,7 @@ impl AdaptiveJoinEngine {
         self.cands[ci].misses += misses;
         self.cands[ci].hit_ns += hit_ns;
         self.cands[ci].miss_ns += miss_ns;
-        (end, out)
+        end
     }
 
     /// Feed plain-cache maintenance deltas (§3.2): the frontier at the tap
@@ -956,12 +1009,13 @@ impl AdaptiveJoinEngine {
                         .iter()
                         .map(|a| seg.get(*a).expect("maint attrs bound in segment").clone()),
                 );
+                let hash = hash_key(&key);
                 match op_kind {
                     Op::Insert if self.fault != Some(InjectedFault::SkipTapInserts) => {
-                        store.insert(&key, seg, 1)
+                        store.insert_hashed(&key, hash, seg, 1)
                     }
                     Op::Delete if self.fault != Some(InjectedFault::SkipTapDeletes) => {
-                        store.delete(&key, &seg, 1)
+                        store.delete_hashed(&key, hash, &seg, 1)
                     }
                     _ => {}
                 }
@@ -1021,9 +1075,10 @@ impl AdaptiveJoinEngine {
                         .iter()
                         .map(|a| seg.get(*a).expect("maint attrs bound").clone()),
                 );
+                let hash = hash_key(&key);
                 match op_kind {
-                    Op::Insert => store.insert(&key, seg, 1),
-                    Op::Delete => store.delete(&key, &seg, 1),
+                    Op::Insert => store.insert_hashed(&key, hash, seg, 1),
+                    Op::Delete => store.delete_hashed(&key, hash, &seg, 1),
                 }
             }
             self.scratch_key = key;
@@ -1622,6 +1677,7 @@ impl AdaptiveJoinEngine {
         s.counter("engine.demotions", &[], self.counters.demotions);
         s.counter("engine.reorderings", &[], self.counters.reorderings);
         s.counter("engine.virtual_ns", &[], self.core.now_ns());
+        s.counter("probe.resolved_direct", &[], self.core.resolved_direct());
         s.ratio(
             "engine.rate",
             &[],
@@ -1775,7 +1831,7 @@ impl AdaptiveJoinEngine {
                 // and globally-consistent caches maintain exactly this set
                 // (the latter sits at Definition 6.1's upper bound).
                 let expected = self.segment_join_matching(c, entry.key());
-                let cached: std::collections::BTreeSet<Vec<(RelId, u64)>> =
+                let cached: std::collections::BTreeSet<CompositeId> =
                     entry.composites().map(|v| v.identity()).collect();
                 if cached != expected {
                     violations.push(format!(
@@ -1796,7 +1852,7 @@ impl AdaptiveJoinEngine {
         &self,
         c: &Candidate,
         key: &[Value],
-    ) -> std::collections::BTreeSet<Vec<(RelId, u64)>> {
+    ) -> std::collections::BTreeSet<CompositeId> {
         let mut results = std::collections::BTreeSet::new();
         let mut partial: Vec<Composite> = vec![Composite::empty()];
         for (idx, &rel) in c.segment.iter().enumerate() {

@@ -21,6 +21,10 @@ pub struct JoinCore {
     relations: Vec<Relation>,
     cost: CostModel,
     clock: VirtualClock,
+    /// Index-probe matches resolved `TupleId → TupleRef` by direct slab
+    /// indexing (i.e. without a second hash lookup). Telemetry:
+    /// `probe.resolved_direct`.
+    resolved_direct: u64,
 }
 
 impl JoinCore {
@@ -48,6 +52,7 @@ impl JoinCore {
             relations,
             cost,
             clock: VirtualClock::new(),
+            resolved_direct: 0,
         }
     }
 
@@ -86,6 +91,13 @@ impl JoinCore {
         self.clock.now_secs()
     }
 
+    /// Index-probe matches resolved to their [`TupleRef`] by direct slab
+    /// indexing rather than a second hash lookup (the whole probe path
+    /// after the one hash on the key value).
+    pub fn resolved_direct(&self) -> u64 {
+        self.resolved_direct
+    }
+
     /// Charge arbitrary virtual time (callers layering extra machinery —
     /// caches, profiling — charge through this).
     pub fn charge(&mut self, ns: u64) {
@@ -103,7 +115,7 @@ impl JoinCore {
         match u.op {
             Op::Insert => {
                 self.clock.charge(self.cost.store_insert);
-                Some(self.relations[u.rel.0 as usize].insert(u.data.clone()))
+                Some(self.relations[u.rel.0 as usize].insert(&u.data))
             }
             Op::Delete => {
                 self.clock.charge(self.cost.store_delete);
@@ -142,6 +154,7 @@ impl JoinCore {
                         out.push(input.extend_with(t.clone()));
                     }
                 }
+                self.resolved_direct += matches as u64;
                 let produced = out.len() - before;
                 self.clock.charge(
                     self.cost.indexed_join(matches, op.residual.len())
@@ -166,6 +179,80 @@ impl JoinCore {
         }
     }
 
+    /// [`probe_join`](Self::probe_join) with an owned input: the prefix is
+    /// *moved* into the output for the final qualifying match instead of
+    /// cloned, so a probe with m matches touches the prefix refcounts m-1
+    /// times rather than m (and zero times for the common m = 1 case).
+    /// Output content and order are identical to the by-ref version.
+    pub fn probe_join_owned(
+        &mut self,
+        input: Composite,
+        op: &CompiledOp,
+        out: &mut Vec<Composite>,
+    ) -> usize {
+        let rel = &self.relations[op.target.0 as usize];
+        let before = out.len();
+        match op.index_access {
+            Some((col, probe_attr)) => {
+                let matches;
+                {
+                    let mut input = Some(input);
+                    let mut it = {
+                        let v = input
+                            .as_ref()
+                            .unwrap()
+                            .get(probe_attr)
+                            .expect("probe attribute must be bound in the prefix");
+                        if v.is_null() {
+                            // Equijoin: NULL matches nothing; still pay the probe.
+                            self.clock.charge(self.cost.index_probe);
+                            return 0;
+                        }
+                        // `probe` captures only the relation borrow, so `v`'s
+                        // borrow of `input` ends with this block.
+                        rel.probe(col, v).peekable()
+                    };
+                    let mut n = 0usize;
+                    while let Some(t) = it.next() {
+                        n += 1;
+                        if !residuals_hold(input.as_ref().unwrap(), t, &op.residual) {
+                            continue;
+                        }
+                        if it.peek().is_none() {
+                            let mut c = input.take().unwrap();
+                            c.push(t.clone());
+                            out.push(c);
+                        } else {
+                            out.push(input.as_ref().unwrap().extend_with(t.clone()));
+                        }
+                    }
+                    matches = n;
+                }
+                self.resolved_direct += matches as u64;
+                let produced = out.len() - before;
+                self.clock.charge(
+                    self.cost.indexed_join(matches, op.residual.len())
+                        + produced as u64 * self.cost.concat,
+                );
+                produced
+            }
+            None => {
+                let scanned = rel.len();
+                for t in rel.scan() {
+                    if residuals_hold(&input, t, &op.residual) {
+                        out.push(input.extend_with(t.clone()));
+                    }
+                }
+                let produced = out.len() - before;
+                self.clock.charge(
+                    self.cost.scan_join(scanned, op.residual.len())
+                        + produced as u64 * self.cost.concat,
+                );
+                produced
+            }
+        }
+    }
+
     /// Run `seed` through a full compiled pipeline (no caches), returning all
     /// n-way results. This is the inner loop of plain MJoin processing.
     pub fn run_pipeline(&mut self, seed: Composite, ops: &[CompiledOp]) -> Vec<Composite> {
@@ -176,8 +263,8 @@ impl JoinCore {
                 break;
             }
             next.clear();
-            for c in &frontier {
-                self.probe_join(c, op, &mut next);
+            for c in frontier.drain(..) {
+                self.probe_join_owned(c, op, &mut next);
             }
             std::mem::swap(&mut frontier, &mut next);
         }
@@ -198,6 +285,11 @@ fn residuals_hold(
     candidate: &TupleRef,
     residual: &[(acq_stream::AttrRef, acq_stream::AttrRef)],
 ) -> bool {
+    // Single-predicate equijoins (the overwhelmingly common compiled shape)
+    // carry no residuals; skip the iterator machinery outright.
+    if residual.is_empty() {
+        return true;
+    }
     residual.iter().all(|(t_attr, p_attr)| {
         let tv = candidate.data.get(t_attr.col.0);
         match input.get(*p_attr) {

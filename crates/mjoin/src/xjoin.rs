@@ -16,7 +16,7 @@ use crate::plan::CompiledOp;
 use crate::stats::WorkloadStats;
 use acq_sketch::FxHashMap;
 use acq_stream::schema::EquivClassId;
-use acq_stream::{AttrRef, Composite, Op, QuerySchema, RelId, TupleId, Update, Value};
+use acq_stream::{AttrRef, Composite, Op, QuerySchema, RelId, Update, Value};
 use std::fmt;
 
 /// A binary join tree over the query's relations.
@@ -82,8 +82,8 @@ enum ChildRef {
     Node(usize),
 }
 
-/// Identity of a stored composite row.
-type RowKey = Vec<(RelId, TupleId)>;
+/// Identity of a stored composite row (packed, `Copy`).
+type RowKey = acq_stream::CompositeId;
 
 /// Materialized subresult of one internal node: rows indexed by the
 /// equivalence-class values crossing to the node's sibling.
@@ -110,7 +110,7 @@ impl SubStore {
         let key = self.key_of(&c);
         let id = c.identity();
         self.bytes += c.ref_memory_bytes() + key.iter().map(Value::memory_bytes).sum::<usize>();
-        self.index.entry(key).or_default().push(id.clone());
+        self.index.entry(key).or_default().push(id);
         self.rows.insert(id, c);
     }
 

@@ -9,6 +9,8 @@
 //! composite pipeline tuples, cache entries, and XJoin materializations all
 //! share them (§3.3: tuples are never copied into caches).
 
+pub mod slab;
 pub mod store;
 
-pub use store::{HashIndex, Relation};
+pub use slab::SlabStore;
+pub use store::{HashIndex, IdList, Relation};

@@ -1,29 +1,137 @@
 //! Relation store with hash indexes.
 
-use acq_sketch::FxHashMap;
+use crate::slab::SlabStore;
+use acq_sketch::{FxHashMap, FxHasher};
 use acq_stream::{ColId, RelId, StoredTuple, TupleData, TupleId, TupleRef, Value};
+use std::collections::VecDeque;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+
+/// Dead [`TupleRef`]s kept for recycling (see [`Relation::insert`]). The pool
+/// is a FIFO: deletes enqueue at the back, inserts pop the *oldest* entry —
+/// the one whose outstanding references (delta batches held by a downstream
+/// consumer, in-flight composites, cache values) have had the longest time to
+/// be dropped. The cap bounds retained allocations while still riding out a
+/// consumer that drains its output every few thousand updates.
+const REF_POOL_CAP: usize = 8192;
+
+/// Recycling attempts per insert. A popped ref that is still shared is put
+/// back at the *back* of the queue (it will be free eventually — dropping it
+/// now would defeat the pool exactly when a batching consumer makes refs
+/// long-lived); bounding the tries keeps degenerate pools from turning an
+/// insert into an O(n) scan.
+const REF_POOL_TRIES: usize = 4;
+
+/// A posting list of tuple ids that stays inline (no heap) up to 6 entries.
+///
+/// Postings are per *key value* within one window, so they are almost always
+/// tiny (join-attribute multiplicity); the spill path exists for skewed
+/// workloads, not the steady state. Once spilled, a list stays on the heap —
+/// it keeps its capacity, so a hot key allocates once, ever.
+#[derive(Debug, Clone)]
+pub enum IdList {
+    /// Up to 6 ids stored inline.
+    Inline {
+        /// Occupied prefix length of `ids`.
+        len: u8,
+        /// Inline storage.
+        ids: [TupleId; 6],
+    },
+    /// Heap storage for longer lists.
+    Spilled(Vec<TupleId>),
+}
+
+impl Default for IdList {
+    fn default() -> IdList {
+        IdList::Inline {
+            len: 0,
+            ids: [0; 6],
+        }
+    }
+}
+
+impl IdList {
+    /// The ids as a slice (unordered after removals).
+    #[inline]
+    pub fn as_slice(&self) -> &[TupleId] {
+        match self {
+            IdList::Inline { len, ids } => &ids[..*len as usize],
+            IdList::Spilled(v) => v,
+        }
+    }
+
+    fn push(&mut self, id: TupleId) {
+        match self {
+            IdList::Inline { len, ids } => {
+                if (*len as usize) < ids.len() {
+                    ids[*len as usize] = id;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(ids.len() * 2);
+                    v.extend_from_slice(ids);
+                    v.push(id);
+                    *self = IdList::Spilled(v);
+                }
+            }
+            IdList::Spilled(v) => v.push(id),
+        }
+    }
+
+    /// Remove one occurrence of `id` (order not preserved). Returns whether
+    /// it was present.
+    fn swap_remove_id(&mut self, id: TupleId) -> bool {
+        match self {
+            IdList::Inline { len, ids } => {
+                let Some(pos) = ids[..*len as usize].iter().position(|&x| x == id) else {
+                    return false;
+                };
+                *len -= 1;
+                ids[pos] = ids[*len as usize];
+                true
+            }
+            IdList::Spilled(v) => {
+                let Some(pos) = v.iter().position(|&x| x == id) else {
+                    return false;
+                };
+                v.swap_remove(pos);
+                true
+            }
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+}
 
 /// A hash index on one column: `value → tuple ids`.
 ///
-/// Index postings are `Vec<TupleId>`; deletions swap-remove, so postings are
-/// unordered — fine, because equijoin semantics are set/multiset based.
+/// Deletions swap-remove within the posting, so postings are unordered —
+/// fine, because equijoin semantics are set/multiset based.
 #[derive(Debug, Default)]
 pub struct HashIndex {
-    map: FxHashMap<Value, Vec<TupleId>>,
+    map: FxHashMap<Value, IdList>,
     entries: usize,
 }
 
 impl HashIndex {
-    fn insert(&mut self, v: Value, id: TupleId) {
-        self.map.entry(v).or_default().push(id);
+    fn insert(&mut self, v: &Value, id: TupleId) {
+        // get_mut-then-insert: the key is cloned only when genuinely new
+        // (and `Value` clones are allocation-free for ints anyway).
+        match self.map.get_mut(v) {
+            Some(list) => list.push(id),
+            None => {
+                let mut list = IdList::default();
+                list.push(id);
+                self.map.insert(v.clone(), list);
+            }
+        }
         self.entries += 1;
     }
 
     fn remove(&mut self, v: &Value, id: TupleId) {
         if let Some(list) = self.map.get_mut(v) {
-            if let Some(pos) = list.iter().position(|&x| x == id) {
-                list.swap_remove(pos);
+            if list.swap_remove_id(id) {
                 self.entries -= 1;
                 if list.is_empty() {
                     self.map.remove(v);
@@ -34,7 +142,7 @@ impl HashIndex {
 
     /// Tuple ids whose indexed column equals `v` (empty slice if none).
     pub fn probe(&self, v: &Value) -> &[TupleId] {
-        self.map.get(v).map(Vec::as_slice).unwrap_or(&[])
+        self.map.get(v).map(IdList::as_slice).unwrap_or(&[])
     }
 
     /// Number of distinct key values currently indexed.
@@ -54,19 +162,36 @@ impl HashIndex {
 }
 
 /// The window contents of one relation, with optional hash indexes.
+///
+/// Tuples live in a [`SlabStore`]: ids are minted monotonically and windows
+/// expire in near-insertion order, so `TupleId → TupleRef` is arithmetic
+/// indexing, not a hash lookup. Deleted tuples' `Arc` allocations are pooled
+/// and recycled on the next insert, making the steady-state insert/delete
+/// cycle allocation-free (see DESIGN.md, "Hot-path memory layout").
 #[derive(Debug)]
 pub struct Relation {
     rel: RelId,
     arity: usize,
-    tuples: FxHashMap<TupleId, TupleRef>,
-    /// Value → ids with exactly that data (multiset delete support).
-    by_data: FxHashMap<TupleData, Vec<TupleId>>,
+    tuples: SlabStore,
+    /// Data hash → ids with that data (multiset delete support). Keying on
+    /// the 64-bit hash instead of an owned [`TupleData`] keeps inserts from
+    /// cloning the data a second time; the (vanishingly rare) collisions are
+    /// disambiguated by comparing the stored tuples on delete.
+    by_data: FxHashMap<u64, IdList>,
     /// `indexes[col]` is `Some` when a hash index exists on that column.
     indexes: Vec<Option<HashIndex>>,
     next_id: TupleId,
+    /// Dead tuple allocations awaiting reuse (FIFO, oldest at the front).
+    ref_pool: VecDeque<TupleRef>,
     /// Running byte count of stored tuple data (for §5-style accounting and
     /// experiment reporting).
     data_bytes: usize,
+}
+
+fn data_hash(data: &TupleData) -> u64 {
+    let mut h = FxHasher::default();
+    data.hash(&mut h);
+    h.finish()
 }
 
 impl Relation {
@@ -75,10 +200,11 @@ impl Relation {
         Relation {
             rel,
             arity,
-            tuples: FxHashMap::default(),
+            tuples: SlabStore::new(),
             by_data: FxHashMap::default(),
             indexes: (0..arity).map(|_| None).collect(),
             next_id: 0,
+            ref_pool: VecDeque::new(),
             data_bytes: 0,
         }
     }
@@ -106,8 +232,8 @@ impl Relation {
     /// Build (or rebuild) a hash index on `col`, indexing existing tuples.
     pub fn add_index(&mut self, col: ColId) {
         let mut idx = HashIndex::default();
-        for (id, t) in &self.tuples {
-            idx.insert(t.data.get(col.0).clone(), *id);
+        for t in self.tuples.iter() {
+            idx.insert(t.data.get(col.0), t.id);
         }
         self.indexes[col.0 as usize] = Some(idx);
     }
@@ -130,24 +256,55 @@ impl Relation {
 
     /// Insert a tuple; returns the minted reference.
     ///
+    /// The data is borrowed: a fresh `Arc<StoredTuple>` clones it exactly
+    /// once, and when the reference pool holds a dead tuple no longer shared
+    /// with anyone (`Arc::get_mut` succeeds) even that clone is elided — the
+    /// values are copied into the recycled allocation in place.
+    ///
     /// # Panics
     /// Panics if the tuple arity doesn't match the relation's.
-    pub fn insert(&mut self, data: TupleData) -> TupleRef {
+    pub fn insert(&mut self, data: &TupleData) -> TupleRef {
         assert_eq!(data.arity(), self.arity, "arity mismatch on insert");
         let id = self.next_id;
         self.next_id += 1;
         self.data_bytes += data.memory_bytes();
-        let t: TupleRef = Arc::new(StoredTuple {
-            rel: self.rel,
-            id,
-            data: data.clone(),
+        let mut recycled = None;
+        for _ in 0..REF_POOL_TRIES {
+            let Some(mut t) = self.ref_pool.pop_front() else {
+                break;
+            };
+            if let Some(st) = Arc::get_mut(&mut t) {
+                st.id = id;
+                // Same relation, hence same arity: `clone_from` reuses the
+                // existing `Box<[Value]>` allocation.
+                st.data.0.clone_from(&data.0);
+                recycled = Some(t);
+                break;
+            }
+            // Still shared elsewhere (a cache or in-flight composite keeps it
+            // alive past its delete) — requeue at the back and let it age.
+            self.ref_pool.push_back(t);
+        }
+        let t = recycled.unwrap_or_else(|| {
+            Arc::new(StoredTuple {
+                rel: self.rel,
+                id,
+                data: data.clone(),
+            })
         });
         for (c, slot) in self.indexes.iter_mut().enumerate() {
             if let Some(idx) = slot {
-                idx.insert(t.data.get(c as u16).clone(), id);
+                idx.insert(t.data.get(c as u16), id);
             }
         }
-        self.by_data.entry(data).or_default().push(id);
+        match self.by_data.get_mut(&data_hash(data)) {
+            Some(ids) => ids.push(id),
+            None => {
+                let mut ids = IdList::default();
+                ids.push(id);
+                self.by_data.insert(data_hash(data), ids);
+            }
+        }
         self.tuples.insert(id, t.clone());
         t
     }
@@ -156,24 +313,37 @@ impl Relation {
     /// one instance is removed — the most recently inserted one). Returns the
     /// removed reference, or `None` if no instance matches.
     pub fn delete(&mut self, data: &TupleData) -> Option<TupleRef> {
-        let ids = self.by_data.get_mut(data)?;
-        let id = ids.pop().expect("by_data lists are never empty");
+        let hash = data_hash(data);
+        let ids = self.by_data.get_mut(&hash)?;
+        // The posting is keyed by hash: skip (rare) colliding entries by
+        // checking the stored data, picking the most recently inserted match.
+        let id = *ids
+            .as_slice()
+            .iter()
+            .filter(|&&id| {
+                self.tuples.get(id).expect("by_data/tuples in sync").data == *data
+            })
+            .max()?;
+        ids.swap_remove_id(id);
         if ids.is_empty() {
-            self.by_data.remove(data);
+            self.by_data.remove(&hash);
         }
-        let t = self.tuples.remove(&id).expect("by_data/tuples in sync");
+        let t = self.tuples.remove(id).expect("by_data/tuples in sync");
         self.data_bytes -= t.data.memory_bytes();
         for (c, slot) in self.indexes.iter_mut().enumerate() {
             if let Some(idx) = slot {
                 idx.remove(t.data.get(c as u16), id);
             }
         }
+        if self.ref_pool.len() < REF_POOL_CAP {
+            self.ref_pool.push_back(t.clone());
+        }
         Some(t)
     }
 
-    /// Look up a stored tuple by id.
+    /// Look up a stored tuple by id — O(1) slab indexing.
     pub fn get(&self, id: TupleId) -> Option<&TupleRef> {
-        self.tuples.get(&id)
+        self.tuples.get(id)
     }
 
     /// Tuples whose column `col` equals `v`, via the hash index.
@@ -189,7 +359,7 @@ impl Relation {
             .expect("probe on unindexed column");
         idx.probe(v)
             .iter()
-            .map(move |id| self.tuples.get(id).expect("index/tuples in sync"))
+            .map(move |&id| self.tuples.get(id).expect("index/tuples in sync"))
     }
 
     /// Number of matches a probe would return, without materializing them.
@@ -201,9 +371,9 @@ impl Relation {
     }
 
     /// Full scan over the window contents (nested-loop joins, consistency
-    /// oracles).
+    /// oracles), in insertion (id) order.
     pub fn scan(&self) -> impl Iterator<Item = &TupleRef> {
-        self.tuples.values()
+        self.tuples.iter()
     }
 
     /// Bytes of stored tuple data (excludes index overhead).
@@ -235,9 +405,9 @@ mod tests {
     #[test]
     fn insert_and_probe() {
         let mut r = rel_with_index();
-        r.insert(TupleData::ints(&[1, 10]));
-        r.insert(TupleData::ints(&[1, 20]));
-        r.insert(TupleData::ints(&[2, 30]));
+        r.insert(&TupleData::ints(&[1, 10]));
+        r.insert(&TupleData::ints(&[1, 20]));
+        r.insert(&TupleData::ints(&[2, 30]));
         assert_eq!(r.len(), 3);
         let hits: Vec<i64> = r
             .probe(ColId(0), &Value::Int(1))
@@ -252,8 +422,8 @@ mod tests {
     #[test]
     fn multiset_delete_removes_one_instance() {
         let mut r = rel_with_index();
-        r.insert(TupleData::ints(&[5, 1]));
-        r.insert(TupleData::ints(&[5, 1]));
+        r.insert(&TupleData::ints(&[5, 1]));
+        r.insert(&TupleData::ints(&[5, 1]));
         assert_eq!(r.len(), 2);
         let removed = r.delete(&TupleData::ints(&[5, 1])).unwrap();
         assert_eq!(removed.data, TupleData::ints(&[5, 1]));
@@ -267,8 +437,8 @@ mod tests {
     #[test]
     fn delete_keeps_indexes_consistent() {
         let mut r = rel_with_index();
-        r.insert(TupleData::ints(&[7, 1]));
-        let t2 = r.insert(TupleData::ints(&[7, 2]));
+        r.insert(&TupleData::ints(&[7, 1]));
+        let t2 = r.insert(&TupleData::ints(&[7, 2]));
         r.delete(&TupleData::ints(&[7, 1]));
         let hits: Vec<TupleId> = r.probe(ColId(0), &Value::Int(7)).map(|t| t.id).collect();
         assert_eq!(hits, vec![t2.id]);
@@ -277,8 +447,8 @@ mod tests {
     #[test]
     fn late_index_build_covers_existing_tuples() {
         let mut r = Relation::new(RelId(0), 2);
-        r.insert(TupleData::ints(&[3, 1]));
-        r.insert(TupleData::ints(&[3, 2]));
+        r.insert(&TupleData::ints(&[3, 1]));
+        r.insert(&TupleData::ints(&[3, 2]));
         assert!(!r.has_index(ColId(1)));
         r.add_index(ColId(1));
         assert!(r.has_index(ColId(1)));
@@ -297,9 +467,9 @@ mod tests {
     #[test]
     fn tuple_ids_never_reused() {
         let mut r = rel_with_index();
-        let a = r.insert(TupleData::ints(&[1, 1]));
+        let a = r.insert(&TupleData::ints(&[1, 1]));
         r.delete(&TupleData::ints(&[1, 1]));
-        let b = r.insert(TupleData::ints(&[1, 1]));
+        let b = r.insert(&TupleData::ints(&[1, 1]));
         assert_ne!(a.id, b.id);
     }
 
@@ -307,7 +477,7 @@ mod tests {
     fn scan_sees_everything() {
         let mut r = Relation::new(RelId(2), 1);
         for i in 0..10 {
-            r.insert(TupleData::ints(&[i]));
+            r.insert(&TupleData::ints(&[i]));
         }
         let mut vals: Vec<i64> = r.scan().map(|t| t.data.get(0).as_int().unwrap()).collect();
         vals.sort_unstable();
@@ -318,10 +488,10 @@ mod tests {
     fn memory_accounting_tracks_inserts_and_deletes() {
         let mut r = Relation::new(RelId(0), 1);
         assert_eq!(r.data_bytes(), 0);
-        r.insert(TupleData::ints(&[1]));
+        r.insert(&TupleData::ints(&[1]));
         let one = r.data_bytes();
         assert!(one > 0);
-        r.insert(TupleData::ints(&[2]));
+        r.insert(&TupleData::ints(&[2]));
         assert_eq!(r.data_bytes(), 2 * one);
         r.delete(&TupleData::ints(&[1]));
         assert_eq!(r.data_bytes(), one);
@@ -330,12 +500,12 @@ mod tests {
     #[test]
     fn clear_resets_but_keeps_index_definitions() {
         let mut r = rel_with_index();
-        r.insert(TupleData::ints(&[1, 1]));
+        r.insert(&TupleData::ints(&[1, 1]));
         r.clear();
         assert!(r.is_empty());
         assert!(r.has_index(ColId(0)));
         assert_eq!(r.probe_count(ColId(0), &Value::Int(1)), 0);
-        r.insert(TupleData::ints(&[1, 1]));
+        r.insert(&TupleData::ints(&[1, 1]));
         assert_eq!(r.probe_count(ColId(0), &Value::Int(1)), 1);
     }
 
@@ -343,7 +513,7 @@ mod tests {
     fn index_distinct_keys() {
         let mut r = rel_with_index();
         for i in 0..10 {
-            r.insert(TupleData::ints(&[i % 3, i]));
+            r.insert(&TupleData::ints(&[i % 3, i]));
         }
         assert_eq!(r.index(ColId(0)).unwrap().distinct_keys(), 3);
         assert_eq!(r.index(ColId(0)).unwrap().len(), 10);
@@ -353,6 +523,6 @@ mod tests {
     #[should_panic(expected = "arity mismatch")]
     fn arity_mismatch_panics() {
         let mut r = Relation::new(RelId(0), 2);
-        r.insert(TupleData::ints(&[1]));
+        r.insert(&TupleData::ints(&[1]));
     }
 }

@@ -45,7 +45,12 @@ impl WindowStat {
         }
         self.buf[self.next] = x;
         self.sum += x;
-        self.next = (self.next + 1) % self.capacity;
+        // Wrap with a compare instead of `%`: an integer division per
+        // observation is measurable on per-tuple paths.
+        self.next += 1;
+        if self.next == self.capacity {
+            self.next = 0;
+        }
         self.total_observations += 1;
     }
 

@@ -19,7 +19,7 @@ pub mod window;
 pub use merge::{merge_by_timestamp, merge_ordered_runs};
 pub use parse::{parse_query, ParseError};
 pub use schema::{AttrRef, ColId, EquivClassId, JoinPredicate, QuerySchema, RelId, RelationSchema};
-pub use tuple::{Composite, StoredTuple, TupleData, TupleId, TupleRef};
+pub use tuple::{Composite, CompositeId, StoredTuple, TupleData, TupleId, TupleRef, MAX_PARTS};
 pub use update::{Op, StreamElement, Update};
 pub use value::Value;
 pub use window::{CountWindow, TimeWindow, WindowOp};

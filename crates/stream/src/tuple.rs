@@ -82,48 +82,183 @@ pub struct StoredTuple {
 /// Shared reference to a stored tuple.
 pub type TupleRef = Arc<StoredTuple>;
 
+/// Maximum number of parts (relations) a [`Composite`] can hold — the size
+/// of [`CompositeId`]'s fixed inline buffer. Every experiment in the paper
+/// (and every realistic stream join) has `n ≤ 16`.
+pub const MAX_PARTS: usize = 16;
+
+/// Inline part capacity of a [`Composite`]. Joins wider than this spill the
+/// tail parts to a heap vector; at 7 the only workloads that ever spill are
+/// the widest stars of the fig09 join-count sweep, and the composite struct
+/// is exactly 72 bytes (len byte + 7 part slots + spill pointer) so the
+/// constant moves/clones/drops the pipeline does per update stay cheap.
+/// Benchmarked: chain3 steady-state throughput regressed ~20% with a
+/// 16-slot inline array purely from the extra memcpy and drop-glue traffic.
+const INLINE_PARTS: usize = 7;
+
 /// A concatenated pipeline tuple: one [`TupleRef`] per relation joined so far.
 ///
-/// Parts are kept in pipeline order. Lookup by relation is a linear scan —
-/// `n ≤ 16` in every realistic stream join, so this beats any map.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// Parts live in a fixed inline array (capacity `INLINE_PARTS`) rather
+/// than a heap `Vec`: building a composite along a k-step pipeline is the
+/// hottest operation in the engine, and the inline layout makes
+/// [`Composite::unit`] / [`Composite::extend_with`] allocation-free for
+/// every join the repo runs. Wider joins (up to [`MAX_PARTS`]) transparently
+/// spill parts `8..` to a boxed vector. Lookup by relation is a linear scan
+/// — `n ≤ 16`, so this beats any map.
+///
+/// The inline slots are `MaybeUninit` with only the first
+/// `min(len, INLINE_PARTS)` initialized: clone and drop — the two dominant
+/// costs of pipeline execution, since every probe output clones its prefix —
+/// touch exactly the occupied slots instead of copying, zero-initializing,
+/// or branch-testing all `INLINE_PARTS` every time.
 pub struct Composite {
-    parts: Vec<TupleRef>,
+    /// Total part count (inline + spill).
+    len: u8,
+    /// Inline slots; the first `min(len, INLINE_PARTS)` are initialized.
+    parts: [std::mem::MaybeUninit<TupleRef>; INLINE_PARTS],
+    /// Parts `INLINE_PARTS..`, in pipeline order — `None` until a join
+    /// exceeds the inline capacity (no repo workload does; boxed so the
+    /// never-spilling hot path pays one null word, not an empty `Vec` —
+    /// that is the point of the indirection the lint objects to).
+    #[allow(clippy::box_collection)]
+    spill: Option<Box<Vec<TupleRef>>>,
+}
+
+// The whole point of the inline layout: one cache line plus a word.
+const _: () = assert!(std::mem::size_of::<Composite>() == 72);
+
+impl Clone for Composite {
+    fn clone(&self) -> Composite {
+        let mut parts = [const { std::mem::MaybeUninit::uninit() }; INLINE_PARTS];
+        for (slot, t) in parts.iter_mut().zip(self.inline_parts()) {
+            slot.write(t.clone());
+        }
+        Composite {
+            len: self.len,
+            parts,
+            spill: self.spill.clone(),
+        }
+    }
+}
+
+impl Drop for Composite {
+    fn drop(&mut self) {
+        let n = (self.len as usize).min(INLINE_PARTS);
+        // SAFETY: the first `n` inline slots are initialized (struct
+        // invariant) and are never read again — the composite is mid-drop.
+        // `spill` is dropped by the normal field drop glue afterwards.
+        unsafe {
+            std::ptr::drop_in_place(std::ptr::slice_from_raw_parts_mut(
+                self.parts.as_mut_ptr().cast::<TupleRef>(),
+                n,
+            ));
+        }
+    }
+}
+
+impl fmt::Debug for Composite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.parts()).finish()
+    }
 }
 
 impl Composite {
     /// A composite with a single part (the update tuple entering a pipeline).
     pub fn unit(t: TupleRef) -> Composite {
-        Composite { parts: vec![t] }
+        let mut c = Composite::empty();
+        c.parts[0].write(t);
+        c.len = 1;
+        c
     }
 
     /// Empty composite (used to seed segment-restricted projections).
     pub fn empty() -> Composite {
-        Composite { parts: Vec::new() }
+        Composite {
+            len: 0,
+            parts: [const { std::mem::MaybeUninit::uninit() }; INLINE_PARTS],
+            spill: None,
+        }
+    }
+
+    /// The initialized inline slots, as a plain slice.
+    #[inline]
+    fn inline_parts(&self) -> &[TupleRef] {
+        let n = (self.len as usize).min(INLINE_PARTS);
+        // SAFETY: the first `n` inline slots are initialized (struct
+        // invariant); `MaybeUninit<TupleRef>` has `TupleRef`'s layout.
+        unsafe { std::slice::from_raw_parts(self.parts.as_ptr().cast::<TupleRef>(), n) }
     }
 
     /// Concatenation `self · t` (paper notation `r · r_j`): a new composite
-    /// sharing all existing parts.
+    /// sharing all existing parts. Allocation-free — only the part
+    /// refcounts are touched.
     pub fn extend_with(&self, t: TupleRef) -> Composite {
-        let mut parts = Vec::with_capacity(self.parts.len() + 1);
-        parts.extend(self.parts.iter().cloned());
-        parts.push(t);
-        Composite { parts }
+        let mut c = self.clone();
+        c.push(t);
+        c
+    }
+
+    /// Append one part in place.
+    #[inline]
+    pub fn push(&mut self, t: TupleRef) {
+        let len = self.len as usize;
+        if len < INLINE_PARTS {
+            // The slot is uninitialized (it is the first one past the
+            // occupied prefix), so `write` correctly skips dropping it.
+            self.parts[len].write(t);
+        } else {
+            assert!(len < MAX_PARTS, "composite part overflow");
+            self.spill.get_or_insert_default().push(t);
+        }
+        self.len += 1;
+    }
+
+    /// Visit every part in pipeline order. Internal iteration keeps the
+    /// spill branch outside the loop — the `impl Iterator` chain in
+    /// [`Composite::parts`] costs measurably more in the engine's hottest
+    /// loops (identity packing, segment restriction).
+    #[inline]
+    fn for_each_part(&self, mut f: impl FnMut(&TupleRef)) {
+        for p in self.inline_parts() {
+            f(p);
+        }
+        if let Some(v) = &self.spill {
+            for t in v.iter() {
+                f(t);
+            }
+        }
     }
 
     /// Concatenate two composites (used when a cache hit splices a cached
     /// segment result `s` onto the probing prefix `r`: `r · s`, §3.2).
     pub fn concat(&self, other: &Composite) -> Composite {
-        let mut parts = Vec::with_capacity(self.parts.len() + other.parts.len());
-        parts.extend(self.parts.iter().cloned());
-        parts.extend(other.parts.iter().cloned());
-        Composite { parts }
+        let mut c = self.clone();
+        other.for_each_part(|t| c.push(t.clone()));
+        c
+    }
+
+    /// [`concat`](Self::concat) consuming `self`: splices `other`'s parts
+    /// onto the owned prefix without cloning it (no refcount traffic for the
+    /// prefix parts).
+    pub fn concat_owned(mut self, other: &Composite) -> Composite {
+        other.for_each_part(|t| self.push(t.clone()));
+        self
     }
 
     /// The part for relation `r`, if present.
     #[inline]
     pub fn part(&self, r: RelId) -> Option<&TupleRef> {
-        self.parts.iter().find(|t| t.rel == r)
+        // Scan the inline slots directly (the common, fully-inline case);
+        // fall through to the spill only when the composite is that wide.
+        for t in self.inline_parts() {
+            if t.rel == r {
+                return Some(t);
+            }
+        }
+        match &self.spill {
+            Some(v) => v.iter().find(|t| t.rel == r),
+            None => None,
+        }
     }
 
     /// Attribute accessor across parts; `None` if the relation isn't joined in
@@ -134,70 +269,192 @@ impl Composite {
     }
 
     /// All parts, in pipeline order.
-    pub fn parts(&self) -> &[TupleRef] {
-        &self.parts
+    #[inline]
+    pub fn parts(&self) -> impl Iterator<Item = &TupleRef> + '_ {
+        self.inline_parts()
+            .iter()
+            .chain(self.spill.iter().flat_map(|v| v.iter()))
     }
 
     /// Number of parts.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.parts.len()
+        self.len as usize
     }
 
     /// True if there are no parts.
     pub fn is_empty(&self) -> bool {
-        self.parts.is_empty()
+        self.len == 0
     }
 
     /// Relations present in this composite.
     pub fn rels(&self) -> impl Iterator<Item = RelId> + '_ {
-        self.parts.iter().map(|t| t.rel)
+        self.parts().map(|t| t.rel)
     }
 
-    /// Project onto a subset of relations, preserving part order. Returns
-    /// `None` if some requested relation is absent. Used by CacheUpdate
-    /// operators to restrict a pipeline delta to the cached segment's
-    /// relations (§3.2 maintenance).
+    /// Project onto a subset of relations (given in ascending `RelId`
+    /// order), preserving part order. Returns `None` if some requested
+    /// relation is absent. Used by CacheUpdate operators to restrict a
+    /// pipeline delta to the cached segment's relations (§3.2 maintenance).
     pub fn restrict(&self, rels: &[RelId]) -> Option<Composite> {
-        let mut parts = Vec::with_capacity(rels.len());
-        for t in &self.parts {
-            if rels.contains(&t.rel) {
-                parts.push(t.clone());
+        debug_assert!(rels.windows(2).all(|w| w[0] < w[1]), "rels must be sorted");
+        let mut c = Composite::empty();
+        self.for_each_part(|t| {
+            if rels.binary_search(&t.rel).is_ok() {
+                c.push(t.clone());
             }
-        }
-        if parts.len() == rels.len() {
-            Some(Composite { parts })
+        });
+        if c.len() == rels.len() {
+            Some(c)
         } else {
             None
         }
     }
 
-    /// Canonical identity of this composite: sorted `(rel, id)` pairs.
-    /// Two composites over the same stored tuples are the same join result
-    /// regardless of pipeline order — this is the equality used by cache
-    /// value sets and materialized subresults.
-    pub fn identity(&self) -> Vec<(RelId, TupleId)> {
-        let mut v: Vec<(RelId, TupleId)> = self.parts.iter().map(|t| (t.rel, t.id)).collect();
-        v.sort_unstable();
-        v
+    /// Canonical identity of this composite: sorted, packed `(rel, id)`
+    /// pairs in a fixed inline buffer. Two composites over the same stored
+    /// tuples are the same join result regardless of pipeline order — this
+    /// is the equality used by cache value sets and materialized
+    /// subresults. Allocation-free and `Copy`.
+    pub fn identity(&self) -> CompositeId {
+        let mut id = CompositeId {
+            len: self.len,
+            packed: [0; MAX_PARTS],
+        };
+        let mut i = 0usize;
+        self.for_each_part(|t| {
+            id.packed[i] = CompositeId::pack(t.rel, t.id);
+            i += 1;
+        });
+        id.packed[..id.len as usize].sort_unstable();
+        id
     }
 
     /// Approximate memory footprint of the *references* (not the tuples —
-    /// those are owned by the relation stores).
+    /// those are owned by the relation stores). Charged as if the parts
+    /// were a heap vector of refs — the §5 cost model prices cached
+    /// *reference sets*, which the inline capacity merely pre-reserves.
     pub fn ref_memory_bytes(&self) -> usize {
-        24 + self.parts.len() * std::mem::size_of::<TupleRef>()
+        24 + self.len() * std::mem::size_of::<TupleRef>()
+    }
+}
+
+impl PartialEq for Composite {
+    fn eq(&self, other: &Composite) -> bool {
+        self.len == other.len && self.parts().eq(other.parts())
+    }
+}
+
+impl Eq for Composite {}
+
+impl std::hash::Hash for Composite {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u8(self.len);
+        self.for_each_part(|t| t.hash(state));
     }
 }
 
 impl fmt::Display for Composite {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;
-        for (i, t) in self.parts.iter().enumerate() {
+        for (i, t) in self.parts().enumerate() {
             if i > 0 {
                 write!(f, " · ")?;
             }
             write!(f, "R{}{}", t.rel.0, t.data)?;
         }
         write!(f, "]")
+    }
+}
+
+/// Canonical identity of a [`Composite`]: its sorted `(rel, id)` pairs,
+/// packed one-per-`u64` (relation in the high 16 bits, tuple id in the low
+/// 48) in a fixed inline buffer. `Copy`, allocation-free, and ordered —
+/// the map key for cache value sets and materialized subresults.
+#[derive(Debug, Clone, Copy)]
+pub struct CompositeId {
+    len: u8,
+    packed: [u64; MAX_PARTS],
+}
+
+impl CompositeId {
+    /// Bits of a `u64` reserved for the tuple id (low bits).
+    const ID_BITS: u32 = 48;
+
+    #[inline]
+    fn pack(rel: RelId, id: TupleId) -> u64 {
+        debug_assert!(id < 1 << Self::ID_BITS, "tuple id exceeds 48 bits");
+        ((rel.0 as u64) << Self::ID_BITS) | id
+    }
+
+    /// Number of `(rel, id)` pairs.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True if there are no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The `i`-th pair in canonical (sorted) order.
+    pub fn pair(&self, i: usize) -> (RelId, TupleId) {
+        let p = self.packed[..self.len as usize][i];
+        (RelId((p >> Self::ID_BITS) as u16), p & ((1 << Self::ID_BITS) - 1))
+    }
+
+    /// All pairs in canonical order.
+    pub fn pairs(&self) -> impl Iterator<Item = (RelId, TupleId)> + '_ {
+        (0..self.len()).map(|i| self.pair(i))
+    }
+
+    /// Whether the identity includes stored tuple `(rel, id)`.
+    pub fn contains(&self, rel: RelId, id: TupleId) -> bool {
+        self.packed[..self.len as usize]
+            .binary_search(&Self::pack(rel, id))
+            .is_ok()
+    }
+}
+
+impl PartialEq for CompositeId {
+    fn eq(&self, other: &CompositeId) -> bool {
+        self.packed[..self.len as usize] == other.packed[..other.len as usize]
+    }
+}
+
+impl Eq for CompositeId {}
+
+impl std::hash::Hash for CompositeId {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // No length prefix needed: the packed entries themselves determine
+        // the boundary (equal prefixes of different lengths are unequal
+        // slices and hash as such via the slice impl).
+        self.packed[..self.len as usize].hash(state);
+    }
+}
+
+impl PartialOrd for CompositeId {
+    fn partial_cmp(&self, other: &CompositeId) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CompositeId {
+    fn cmp(&self, other: &CompositeId) -> std::cmp::Ordering {
+        self.packed[..self.len as usize].cmp(&other.packed[..other.len as usize])
+    }
+}
+
+impl fmt::Display for CompositeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (rel, id)) in self.pairs().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "R{}#{}", rel.0, id)?;
+        }
+        write!(f, "}}")
     }
 }
 
@@ -255,6 +512,26 @@ mod tests {
         assert_eq!(seg.len(), 2);
         assert!(seg.part(RelId(2)).is_none());
         assert!(c.restrict(&[RelId(3)]).is_none(), "absent relation");
+    }
+
+    #[test]
+    fn wide_composites_spill_past_inline_capacity() {
+        // Joins wider than INLINE_PARTS (e.g. fig09's 9-way star) spill the
+        // tail parts to the heap; every accessor must see both halves.
+        let mut c = Composite::empty();
+        for r in 0..12u16 {
+            c.push(t(r, r as u64 + 100, &[r as i64]));
+        }
+        assert_eq!(c.len(), 12);
+        assert_eq!(c.part(RelId(11)).unwrap().id, 111);
+        assert_eq!(c.get(AttrRef::new(9, 0)), Some(&Value::Int(9)));
+        assert_eq!(c.parts().count(), 12);
+        let cloned = c.clone();
+        assert_eq!(cloned, c);
+        assert_eq!(cloned.identity(), c.identity());
+        let seg = c.restrict(&[RelId(2), RelId(10)]).unwrap();
+        assert_eq!(seg.len(), 2);
+        assert_eq!(c.identity().pair(11), (RelId(11), 111));
     }
 
     #[test]

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Perf trajectory runner: builds release and runs the hotpath and
+# shard_scaling benches, updating BENCH_hotpath.json in the repo root.
+#
+# Usage:
+#   scripts/bench.sh                 # full run, records the "current" section
+#   scripts/bench.sh --label NAME    # record under a different section
+#   scripts/bench.sh --smoke         # 1-iteration-scale smoke pass (CI)
+#
+# BENCH_hotpath.json accumulates one section per label (e.g. "baseline"
+# recorded from the pre-optimization layout, "current" from HEAD), so the
+# before/after throughput and allocs/update comparison is in-repo.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+label="current"
+smoke=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --label) label="$2"; shift 2 ;;
+    --smoke) smoke="--smoke"; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+run() {
+  echo "==> $*"
+  "$@"
+}
+
+run cargo build --release --offline --workspace
+
+# Hot-path throughput + allocations per update (writes BENCH_hotpath.json).
+run cargo bench --offline -q -p acq-bench --bench hotpath -- --label "$label" $smoke
+
+# Parallel scaling on the virtual cost substrate (writes
+# EXPERIMENTS_OUTPUT/shard_scaling.csv). Skipped in smoke mode: its run
+# length is fixed and the hotpath smoke already covers the build.
+if [ -z "$smoke" ]; then
+  run cargo run --release --offline -q -p acq-bench --bin shard_scaling
+fi
+
+echo "BENCH OK"

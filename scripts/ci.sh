@@ -22,6 +22,11 @@ run cargo test -q --offline --workspace || fail=1
 # point diverges from the oracle or a corpus case is no longer green.
 run cargo run --release --offline -q -p acq-harness -- --seed 1 --cases 6 --check-corpus --no-write || fail=1
 
+# Bench smoke (tier 2): the hot-path benchmark on a tiny workload, to
+# catch bench-harness rot without paying full measurement time. Numbers
+# from smoke mode are not recorded.
+run scripts/bench.sh --smoke || fail=1
+
 # Documentation gate: every public item is documented (missing_docs is
 # enabled crate-side) and rustdoc warnings are errors.
 run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace || fail=1

@@ -88,7 +88,7 @@ proptest! {
                     if let Some(entry) = store.probe(&key_of(*key)) {
                         let got: BTreeSet<u64> = entry
                             .composites()
-                            .map(|c| c.identity()[0].1)
+                            .map(|c| c.identity().pair(0).1)
                             .collect();
                         let want: BTreeSet<u64> = model
                             .get(key)
@@ -149,7 +149,7 @@ fn regression_single_delete_keeps_double_witnessed_entry() {
     store.insert(&key_of(9), comp(19), 1);
     store.delete(&key_of(9), &comp(19), 1);
     let entry = store.probe(&key_of(9)).expect("entry must survive");
-    let ids: Vec<u64> = entry.composites().map(|c| c.identity()[0].1).collect();
+    let ids: Vec<u64> = entry.composites().map(|c| c.identity().pair(0).1).collect();
     assert_eq!(ids, vec![19]);
     // The second delete exhausts the witness count and hides the id.
     store.delete(&key_of(9), &comp(19), 1);
