@@ -1,29 +1,46 @@
 //! Hot-path throughput and allocation-rate bench.
 //!
 //! Measures **host wall-clock** steady-state throughput (ns/update) and
-//! heap allocations per update for the per-update execution path, on the
-//! paper's two canonical query shapes:
-//!
-//! * `chain3` — the §7.2 default 3-way chain `R(A) ⋈ S(A,B) ⋈ T(B)`,
-//!   int-only columns (the acceptance workload for the allocation-free
-//!   hot path), and
-//! * `star4` — the Figure 9 star join with mixed join-attribute
-//!   multiplicity,
-//!
-//! each through a single [`AdaptiveJoinEngine`] and a 4-shard
-//! [`ShardedEngine`]. Unlike the figure experiments (which charge work to
-//! deterministic *virtual* clocks to stay machine-independent), this bench
-//! deliberately reports wall time: allocation cost is exactly the thing the
+//! heap allocations per update for the per-update execution path. Unlike
+//! the figure experiments (which charge work to deterministic *virtual*
+//! clocks to stay machine-independent), this bench deliberately reports
+//! wall time: allocation and scheduling cost are exactly the things the
 //! virtual cost model does not charge for, and the before/after comparison
 //! is run on the same machine.
 //!
-//! Results are merged into `BENCH_hotpath.json` under a section named by
-//! `--label <name>` (default `current`; `baseline` is recorded once from
-//! the pre-optimization layout), so the file carries the perf trajectory
-//! across PRs. `--smoke` runs a 1-iteration-scale sanity pass for CI.
+//! Two scenario groups:
+//!
+//! * **hotpath** — the PR 4 acceptance scenarios on the paper's two
+//!   canonical query shapes (`chain3`, the §7.2 default 3-way chain, and
+//!   `star4`, the Figure 9 star with mixed multiplicity), each through a
+//!   single [`AdaptiveJoinEngine`] and a 4-shard [`ShardedEngine`] at the
+//!   shard_scaling chunk size. Merged into `BENCH_hotpath.json`.
+//! * **shard** — the persistent-worker-runtime scenarios: chain3 at 1/2/4
+//!   shards with 1024-update batches (the streaming SPSC pipeline), star4
+//!   at 1/4 shards with 8-update batches (the inline small-batch path —
+//!   star4 because every relation routes; chain3's broadcast relation
+//!   duplicates its work on every shard, which would measure the query
+//!   shape, not the dispatch path), and the 4-shard scoped-thread
+//!   reference executor ([`acq::shard::reference::ScopedShardedEngine`])
+//!   for an A/B against the spawn-per-batch model it replaced. The
+//!   1-shard runs drive `ShardedEngine` with one shard — the
+//!   shard_scaling convention — so shard-count ratios isolate
+//!   routing/dispatch cost from the executor's fixed canonical-ordering
+//!   tax; the hotpath group's 1shard scenarios keep the plain-engine
+//!   floor on record. Merged into `BENCH_shard.json`.
+//!
+//! Results are merged under a section named by `--label <name>` (default
+//! `current`; `baseline`/`scoped` sections are recorded once from the
+//! pre-optimization layouts), so the files carry the perf trajectory
+//! across PRs. `--smoke` runs a 1-iteration-scale sanity pass for CI,
+//! recorded under the `smoke` section so real measurements survive it.
+//! `--only hotpath|shard` runs one group and writes only its file; any
+//! other `--only` substring filters scenarios without touching the JSON.
 
 use acq::engine::{AdaptiveJoinEngine, EngineConfig, ReoptInterval, SelectionStrategy};
+use acq::shard::reference::ScopedShardedEngine;
 use acq::shard::{ShardConfig, ShardedEngine};
+use acq_bench::report::{field_of, merge_label_section};
 use acq_gen::column::ColumnGen;
 use acq_gen::spec::{chain3_default, StreamSpec, Workload};
 use acq_mjoin::plan::PlanOrders;
@@ -32,7 +49,8 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-/// Updates per ingestion batch (matches the shard_scaling bench).
+/// Updates per ingestion batch for the hotpath group (matches the
+/// shard_scaling bench); the shard group sets per-scenario chunk sizes.
 const CHUNK: usize = 8192;
 
 // ---------------------------------------------------------------------
@@ -108,6 +126,7 @@ fn config() -> EngineConfig {
 // ---------------------------------------------------------------------
 // Measurement
 
+#[derive(Clone, Copy)]
 struct Measured {
     updates: usize,
     ns_per_update: f64,
@@ -117,40 +136,61 @@ struct Measured {
     deltas: u64,
 }
 
+/// Which executor a scenario drives.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// The plain single [`AdaptiveJoinEngine`] (the PR 4 scenarios; also
+    /// the absolute floor no sharded run can beat — the sharded executor
+    /// additionally pays for routing and canonical output order).
+    Engine,
+    /// `ShardedEngine` on the persistent worker runtime, at any shard
+    /// count — 1-shard runs measure the executor's own dispatch overhead,
+    /// the same convention as the shard_scaling bench.
+    Runtime,
+    /// The pre-runtime scoped-thread reference executor.
+    Scoped,
+}
+
 enum Exec {
     // Boxed to keep the variants comparable in size (the engine is a large
-    // flat struct; the sharded executor is mostly thread handles).
+    // flat struct; the sharded executors are mostly thread/ring handles).
     Single(Box<AdaptiveJoinEngine>),
-    Sharded(ShardedEngine),
+    Sharded(Box<ShardedEngine>),
+    Scoped(Box<ScopedShardedEngine>),
 }
 
 impl Exec {
-    fn build(q: &QuerySchema, shards: usize) -> Exec {
-        if shards == 1 {
-            Exec::Single(Box::new(AdaptiveJoinEngine::with_config(
+    fn build(q: &QuerySchema, shards: usize, mode: Mode) -> Exec {
+        let shard_cfg = ShardConfig {
+            num_shards: shards,
+            partition_class: None,
+        };
+        match mode {
+            Mode::Engine => Exec::Single(Box::new(
+                AdaptiveJoinEngine::with_config(q.clone(), PlanOrders::identity(q), config()),
+            )),
+            Mode::Runtime => Exec::Sharded(Box::new(ShardedEngine::with_config(
                 q.clone(),
                 PlanOrders::identity(q),
                 config(),
-            )))
-        } else {
-            Exec::Sharded(ShardedEngine::with_config(
+                shard_cfg,
+            ))),
+            Mode::Scoped => Exec::Scoped(Box::new(ScopedShardedEngine::with_config(
                 q.clone(),
                 PlanOrders::identity(q),
                 config(),
-                ShardConfig {
-                    num_shards: shards,
-                    partition_class: None,
-                },
-            ))
+                shard_cfg,
+            ))),
         }
     }
 
-    fn feed(&mut self, updates: &[Update]) -> u64 {
+    fn feed(&mut self, updates: &[Update], chunk: usize) -> u64 {
         let mut deltas = 0u64;
-        for chunk in updates.chunks(CHUNK) {
+        for chunk in updates.chunks(chunk) {
             deltas += match self {
                 Exec::Single(e) => e.process_batch(chunk).len() as u64,
                 Exec::Sharded(e) => e.process_batch(chunk).len() as u64,
+                Exec::Scoped(e) => e.process_batch(chunk).len() as u64,
             };
         }
         deltas
@@ -159,15 +199,15 @@ impl Exec {
 
 /// Warm the engine over a stream prefix (windows fill, plans settle), then
 /// time the steady-state suffix.
-fn run(q: &QuerySchema, updates: &[Update], shards: usize, warmup: usize) -> Measured {
-    let mut e = Exec::build(q, shards);
+fn run(q: &QuerySchema, updates: &[Update], shards: usize, mode: Mode, chunk: usize, warmup: usize) -> Measured {
+    let mut e = Exec::build(q, shards, mode);
     let warmup = warmup.min(updates.len() / 2);
-    let warm_deltas = e.feed(&updates[..warmup]);
+    let warm_deltas = e.feed(&updates[..warmup], chunk);
     std::hint::black_box(warm_deltas);
     let steady = &updates[warmup..];
     let (a0, b0) = alloc_snapshot();
     let t0 = Instant::now();
-    let deltas = e.feed(steady);
+    let deltas = e.feed(steady, chunk);
     let elapsed = t0.elapsed();
     let (a1, b1) = alloc_snapshot();
     std::hint::black_box(deltas);
@@ -201,52 +241,7 @@ fn run(q: &QuerySchema, updates: &[Update], shards: usize, warmup: usize) -> Mea
 }
 
 // ---------------------------------------------------------------------
-// BENCH_hotpath.json merging (no JSON dep: the file format is our own, so
-// balanced-brace extraction of the other labels' sections is safe).
-
-/// Extract the `"label": { ... }` object text for every top-level label in
-/// a previously written `BENCH_hotpath.json`.
-fn existing_sections(text: &str) -> Vec<(String, String)> {
-    let mut out = Vec::new();
-    let bytes = text.as_bytes();
-    // Skip the outermost '{'.
-    let Some(start) = text.find('{') else {
-        return out;
-    };
-    let mut i = start + 1;
-    while i < bytes.len() {
-        // Find the next quoted label at depth 1.
-        let Some(q0) = text[i..].find('"').map(|p| i + p) else {
-            break;
-        };
-        let Some(q1) = text[q0 + 1..].find('"').map(|p| q0 + 1 + p) else {
-            break;
-        };
-        let label = text[q0 + 1..q1].to_string();
-        let Some(o) = text[q1..].find('{').map(|p| q1 + p) else {
-            break;
-        };
-        let mut depth = 0usize;
-        let mut end = None;
-        for (k, &c) in bytes.iter().enumerate().skip(o) {
-            match c {
-                b'{' => depth += 1,
-                b'}' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        end = Some(k);
-                        break;
-                    }
-                }
-                _ => {}
-            }
-        }
-        let Some(end) = end else { break };
-        out.push((label, text[o..=end].to_string()));
-        i = end + 1;
-    }
-    out
-}
+// Bench-JSON output (shared helpers live in acq_bench::report)
 
 fn scenario_json(m: &Measured) -> String {
     format!(
@@ -258,25 +253,7 @@ fn scenario_json(m: &Measured) -> String {
     )
 }
 
-/// Pull a numeric field out of one of our own scenario objects.
-fn field_of(section: &str, scenario: &str, field: &str) -> Option<f64> {
-    let s0 = section.find(&format!("\"{scenario}\""))?;
-    let rest = &section[s0..];
-    let f0 = rest.find(&format!("\"{field}\""))?;
-    let after = &rest[f0..];
-    let colon = after.find(':')?;
-    let tail = after[colon + 1..].trim_start();
-    let end = tail
-        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
-        .unwrap_or(tail.len());
-    tail[..end].parse().ok()
-}
-
-fn write_bench_json(label: &str, scenarios: &[(String, Measured)], smoke: bool) {
-    let path = "BENCH_hotpath.json";
-    let mut sections: Vec<(String, String)> = std::fs::read_to_string(path)
-        .map(|t| existing_sections(&t))
-        .unwrap_or_default();
+fn write_bench_json(path: &str, label: &str, scenarios: &[(String, Measured)], smoke: bool) -> Vec<(String, String)> {
     let mut body = String::from("{\n");
     body.push_str(&format!("    \"smoke\": {smoke},\n"));
     for (i, (name, m)) in scenarios.iter().enumerate() {
@@ -284,38 +261,49 @@ fn write_bench_json(label: &str, scenarios: &[(String, Measured)], smoke: bool) 
         body.push_str(if i + 1 < scenarios.len() { ",\n" } else { "\n" });
     }
     body.push_str("  }");
-    match sections.iter_mut().find(|(l, _)| l == label) {
-        Some((_, s)) => *s = body,
-        None => sections.push((label.to_string(), body)),
-    }
-    let mut out = String::from("{\n");
-    for (i, (l, s)) in sections.iter().enumerate() {
-        out.push_str(&format!("  \"{l}\": {s}"));
-        out.push_str(if i + 1 < sections.len() { ",\n" } else { "\n" });
-    }
-    out.push_str("}\n");
-    if let Err(e) = std::fs::write(path, &out) {
-        eprintln!("warning: cannot write {path}: {e}");
-        return;
-    }
-    println!("wrote {path} (section \"{label}\")");
-    // Headline ratio: single-shard chain3 throughput, current vs baseline.
-    let base = sections.iter().find(|(l, _)| l == "baseline");
-    let cur = sections.iter().find(|(l, _)| l == "current");
-    if let (Some((_, b)), Some((_, c))) = (base, cur) {
-        if let (Some(b_ns), Some(c_ns)) = (
-            field_of(b, "chain3/1shard", "ns_per_update"),
-            field_of(c, "chain3/1shard", "ns_per_update"),
-        ) {
-            println!(
-                "chain3/1shard speedup vs baseline: {:.2}x ({b_ns:.0} -> {c_ns:.0} ns/update)",
-                b_ns / c_ns
-            );
-        }
+    merge_label_section(path, label, body)
+}
+
+/// Print `name: a/b` when both scenario fields exist in `section`.
+fn headline(section: &str, name: &str, num: &str, den: &str) {
+    if let (Some(a), Some(b)) = (
+        field_of(section, num, "ns_per_update"),
+        field_of(section, den, "ns_per_update"),
+    ) {
+        println!("{name}: {:.2}x ({a:.0} vs {b:.0} ns/update)", a / b);
     }
 }
 
 // ---------------------------------------------------------------------
+
+type WorkloadFn = fn(usize) -> (QuerySchema, Vec<Update>);
+
+struct Scenario {
+    group: &'static str,
+    name: &'static str,
+    gen: WorkloadFn,
+    shards: usize,
+    mode: Mode,
+    chunk: usize,
+}
+
+const fn sc(
+    group: &'static str,
+    name: &'static str,
+    gen: WorkloadFn,
+    shards: usize,
+    mode: Mode,
+    chunk: usize,
+) -> Scenario {
+    Scenario {
+        group,
+        name,
+        gen,
+        shards,
+        mode,
+        chunk,
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -327,22 +315,31 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .or_else(|| std::env::var("BENCH_LABEL").ok())
-        .unwrap_or_else(|| "current".to_string());
-    // `--only <substr>` runs matching scenarios without touching the JSON —
-    // for quick A/B iterations and profiling single scenarios.
+        // Smoke numbers are not measurements: keep them out of "current"
+        // unless a label is asked for explicitly.
+        .unwrap_or_else(|| if smoke { "smoke" } else { "current" }.to_string());
+    // `--only hotpath` / `--only shard` runs one whole group (its JSON is
+    // written); any other substring filters scenarios without touching the
+    // JSON — for quick A/B iterations and profiling single scenarios.
     let only = args
         .iter()
         .position(|a| a == "--only")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let group_only = matches!(only.as_deref(), Some("hotpath") | Some("shard"));
 
     let (total, warmup) = if smoke { (3_000, 1_000) } else { (400_000, 50_000) };
-    type WorkloadFn = fn(usize) -> (QuerySchema, Vec<Update>);
-    let scenarios: Vec<(&str, WorkloadFn, usize)> = vec![
-        ("chain3/1shard", chain3_workload, 1),
-        ("chain3/4shard", chain3_workload, 4),
-        ("star4/1shard", star4_workload, 1),
-        ("star4/4shard", star4_workload, 4),
+    let scenarios: Vec<Scenario> = vec![
+        sc("hotpath", "chain3/1shard", chain3_workload, 1, Mode::Engine, CHUNK),
+        sc("hotpath", "chain3/4shard", chain3_workload, 4, Mode::Runtime, CHUNK),
+        sc("hotpath", "star4/1shard", star4_workload, 1, Mode::Engine, CHUNK),
+        sc("hotpath", "star4/4shard", star4_workload, 4, Mode::Runtime, CHUNK),
+        sc("shard", "chain3/1shard/b1024", chain3_workload, 1, Mode::Runtime, 1024),
+        sc("shard", "chain3/2shard/b1024", chain3_workload, 2, Mode::Runtime, 1024),
+        sc("shard", "chain3/4shard/b1024", chain3_workload, 4, Mode::Runtime, 1024),
+        sc("shard", "star4/1shard/b8", star4_workload, 1, Mode::Runtime, 8),
+        sc("shard", "star4/4shard/b8", star4_workload, 4, Mode::Runtime, 8),
+        sc("shard", "chain3/4shard/b1024/scoped", chain3_workload, 4, Mode::Scoped, 1024),
     ];
 
     println!(
@@ -351,22 +348,63 @@ fn main() {
         warmup,
         if smoke { " [smoke]" } else { "" }
     );
-    let mut results = Vec::new();
-    for (name, gen, shards) in scenarios {
-        if only.as_deref().is_some_and(|o| !name.contains(o)) {
+    let mut results: Vec<(&'static str, String, Measured)> = Vec::new();
+    for s in &scenarios {
+        let selected = match only.as_deref() {
+            None => true,
+            Some(o) if group_only => s.group == o,
+            Some(o) => s.name.contains(o),
+        };
+        if !selected {
             continue;
         }
-        let (q, updates) = gen(total);
-        let m = run(&q, &updates, shards, warmup);
+        let (q, updates) = (s.gen)(total);
+        let m = run(&q, &updates, s.shards, s.mode, s.chunk, warmup);
         println!(
-            "{name:>14}: {:>8.0} ns/update  {:>9.0} t/s  {:>7.2} allocs/update  \
+            "{:>26}: {:>8.0} ns/update  {:>9.0} t/s  {:>7.2} allocs/update  \
              {:>8.0} B/update  ({} deltas)",
-            m.ns_per_update, m.updates_per_sec, m.allocs_per_update,
+            s.name, m.ns_per_update, m.updates_per_sec, m.allocs_per_update,
             m.alloc_bytes_per_update, m.deltas
         );
-        results.push((name.to_string(), m));
+        results.push((s.group, s.name.to_string(), m));
     }
-    if only.is_none() {
-        write_bench_json(&label, &results, smoke);
+    if only.is_some() && !group_only {
+        return;
+    }
+    for (group, path) in [("hotpath", "BENCH_hotpath.json"), ("shard", "BENCH_shard.json")] {
+        let group_results: Vec<(String, Measured)> = results
+            .iter()
+            .filter(|(g, _, _)| *g == group)
+            .map(|(_, n, m)| (n.clone(), *m))
+            .collect();
+        if group_results.is_empty() {
+            continue;
+        }
+        let sections = write_bench_json(path, &label, &group_results, smoke);
+        let find = |l: &str| sections.iter().find(|(s, _)| s == l).map(|(_, b)| b.as_str());
+        match group {
+            "hotpath" => {
+                // Headline ratio: single-shard chain3, current vs baseline.
+                if let (Some(b), Some(c)) = (find("baseline"), find("current")) {
+                    if let (Some(b_ns), Some(c_ns)) = (
+                        field_of(b, "chain3/1shard", "ns_per_update"),
+                        field_of(c, "chain3/1shard", "ns_per_update"),
+                    ) {
+                        println!(
+                            "chain3/1shard speedup vs baseline: {:.2}x ({b_ns:.0} -> {c_ns:.0} ns/update)",
+                            b_ns / c_ns
+                        );
+                    }
+                }
+            }
+            _ => {
+                if let Some(c) = find(&label) {
+                    // Spawn-free batches vs per-batch scoped spawns, and the
+                    // small-batch inline criterion (4shard/b8 must be ≤ 1x).
+                    headline(c, "4shard/b1024 scoped vs persistent", "chain3/4shard/b1024/scoped", "chain3/4shard/b1024");
+                    headline(c, "4shard/b8 vs 1shard/b8", "star4/4shard/b8", "star4/1shard/b8");
+                }
+            }
+        }
     }
 }

@@ -55,6 +55,7 @@ pub mod cost;
 pub mod engine;
 pub mod memory;
 pub mod profiler;
+pub mod runtime;
 pub mod select;
 pub mod shard;
 pub mod stream_join;
@@ -69,6 +70,8 @@ pub use engine::{
 pub use memory::{allocate, Allocation, MemoryConfig, MemoryRequest};
 pub use profiler::{Profiler, ProfilerConfig};
 pub use select::{SelectionInstance, Solution};
-pub use shard::{auto_partition_class, canonicalize_group, RoutingStats, ShardConfig, ShardedEngine};
+pub use shard::{
+    auto_partition_class, canonicalize_group, RoutingStats, ShardConfig, ShardPanic, ShardedEngine,
+};
 pub use stream_join::{StreamJoin, StreamJoinBuilder, WindowSpec};
 pub use acq_telemetry::TelemetrySnapshot;

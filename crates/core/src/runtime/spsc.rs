@@ -1,0 +1,369 @@
+//! Bounded lock-free single-producer/single-consumer ring, plus the
+//! park/unpark primitive the worker runtime builds its backoff on.
+//!
+//! The ring is the data plane of the persistent shard runtime
+//! ([`crate::runtime`]): the caller thread pushes routed update runs into a
+//! worker's inbox ring and pops delta runs from its result ring. Exactly one
+//! thread holds the [`Producer`] and exactly one the [`Consumer`] — the type
+//! system enforces it (the handles are `Send` but not `Clone`), which is
+//! what lets every operation be two atomic accesses with no CAS loop:
+//!
+//! * `push` writes the slot, then `Release`-publishes the new tail;
+//! * `pop` `Acquire`-loads the tail, reads the slot, then
+//!   `Release`-publishes the new head (licensing the producer to reuse the
+//!   slot).
+//!
+//! Positions are monotonically increasing counters masked into a
+//! power-of-two slot array, so full/empty are distinguished without a spare
+//! slot: `tail - head == capacity` is full, `tail == head` is empty.
+//! Dropping the ring drains and drops any unconsumed items (no leaks — see
+//! `crates/core/tests/spsc_ring.rs` for the allocator-counted proof).
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Pads a hot atomic to its own cache line so the producer's tail and the
+/// consumer's head never false-share.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+struct Shared<T> {
+    /// Slot array; length is a power of two.
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Index mask (`slots.len() - 1`).
+    mask: usize,
+    /// Consumer position (monotone, wrapped on use).
+    head: CachePadded<AtomicUsize>,
+    /// Producer position (monotone, wrapped on use).
+    tail: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: the slot array is a transfer cell between exactly one producer
+// and one consumer; the head/tail Release/Acquire pairs order every slot
+// write before the matching read (push→pop) and every read before the slot
+// is reused (pop→push). `T: Send` is required because values move across
+// the pair's threads.
+unsafe impl<T: Send> Send for Shared<T> {}
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // Both handles are gone (`&mut self`), so plain loads suffice.
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let mut pos = head;
+        while pos != tail {
+            // SAFETY: slots in [head, tail) were written by push and never
+            // consumed; this is the only remaining reader.
+            unsafe { (*self.slots[pos & self.mask].get()).assume_init_drop() };
+            pos = pos.wrapping_add(1);
+        }
+    }
+}
+
+/// Producing half of a bounded SPSC ring (see [`ring`]).
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+    /// Producer-local cache of the consumer's head; refreshed only when the
+    /// ring looks full, so the common-case push does one shared atomic load.
+    cached_head: usize,
+}
+
+/// Consuming half of a bounded SPSC ring (see [`ring`]).
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+    /// Consumer-local cache of the producer's tail; refreshed only when the
+    /// ring looks empty.
+    cached_tail: usize,
+}
+
+/// Create a bounded SPSC ring with at least `capacity` slots (rounded up to
+/// a power of two, minimum 2).
+pub fn ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let slots = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let shared = Arc::new(Shared {
+        slots,
+        mask: cap - 1,
+        head: CachePadded(AtomicUsize::new(0)),
+        tail: CachePadded(AtomicUsize::new(0)),
+    });
+    (
+        Producer {
+            shared: Arc::clone(&shared),
+            cached_head: 0,
+        },
+        Consumer {
+            shared,
+            cached_tail: 0,
+        },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.shared.mask + 1
+    }
+
+    /// Items currently buffered (racy snapshot: the consumer may pop
+    /// concurrently, so the true value is at most this).
+    pub fn len(&self) -> usize {
+        let tail = self.shared.tail.0.load(Ordering::Relaxed);
+        let head = self.shared.head.0.load(Ordering::Acquire);
+        tail.wrapping_sub(head)
+    }
+
+    /// Whether the ring currently looks empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Push one value; returns it back if the ring is full.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        let tail = self.shared.tail.0.load(Ordering::Relaxed);
+        if tail.wrapping_sub(self.cached_head) == self.capacity() {
+            self.cached_head = self.shared.head.0.load(Ordering::Acquire);
+            if tail.wrapping_sub(self.cached_head) == self.capacity() {
+                return Err(value);
+            }
+        }
+        // SAFETY: the slot at `tail` is unoccupied (tail - head < capacity)
+        // and this thread is the only writer.
+        unsafe { (*self.shared.slots[tail & self.shared.mask].get()).write(value) };
+        self.shared.tail.0.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.shared.mask + 1
+    }
+
+    /// Items currently buffered (racy snapshot: the producer may push
+    /// concurrently, so the true value is at least this).
+    pub fn len(&self) -> usize {
+        let head = self.shared.head.0.load(Ordering::Relaxed);
+        let tail = self.shared.tail.0.load(Ordering::Acquire);
+        tail.wrapping_sub(head)
+    }
+
+    /// Whether the ring currently looks empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pop one value, or `None` when the ring is empty.
+    pub fn pop(&mut self) -> Option<T> {
+        let head = self.shared.head.0.load(Ordering::Relaxed);
+        if head == self.cached_tail {
+            self.cached_tail = self.shared.tail.0.load(Ordering::Acquire);
+            if head == self.cached_tail {
+                return None;
+            }
+        }
+        // SAFETY: the slot at `head` was published by the producer's
+        // Release store of `tail > head`, and this thread is the only
+        // reader; after the head store below the producer may reuse it.
+        let value = unsafe { (*self.shared.slots[head & self.shared.mask].get()).assume_init_read() };
+        self.shared.head.0.store(head.wrapping_add(1), Ordering::Release);
+        Some(value)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parker
+
+const EMPTY: u32 = 0;
+const NOTIFIED: u32 = 1;
+const PARKED: u32 = 2;
+
+struct ParkShared {
+    state: std::sync::atomic::AtomicU32,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+/// The blocking half of a park/unpark pair (see [`parker`]): the owning
+/// thread calls [`Parker::park`] after its spin budget is exhausted.
+///
+/// Tokens are sticky: an [`Unparker::unpark`] delivered before `park` makes
+/// the next `park` return immediately, so the standard
+/// *publish-then-recheck* idle protocol has no lost-wakeup window.
+pub struct Parker {
+    shared: Arc<ParkShared>,
+}
+
+/// The waking half of a park/unpark pair; clonable and shareable across
+/// threads.
+#[derive(Clone)]
+pub struct Unparker {
+    shared: Arc<ParkShared>,
+}
+
+/// Create a connected [`Parker`]/[`Unparker`] pair.
+pub fn parker() -> (Parker, Unparker) {
+    let shared = Arc::new(ParkShared {
+        state: std::sync::atomic::AtomicU32::new(EMPTY),
+        lock: Mutex::new(()),
+        cv: Condvar::new(),
+    });
+    (
+        Parker {
+            shared: Arc::clone(&shared),
+        },
+        Unparker { shared },
+    )
+}
+
+impl Parker {
+    /// Block until unparked (or return immediately on a pending token).
+    pub fn park(&self) {
+        self.park_inner(None);
+    }
+
+    /// Block until unparked or `timeout` elapses, whichever is first.
+    pub fn park_timeout(&self, timeout: Duration) {
+        self.park_inner(Some(timeout));
+    }
+
+    fn park_inner(&self, timeout: Option<Duration>) {
+        let s = &self.shared;
+        // Fast path: consume a pending token without touching the mutex.
+        if s.state.swap(EMPTY, Ordering::Acquire) == NOTIFIED {
+            return;
+        }
+        let mut guard = s.lock.lock().unwrap_or_else(|e| e.into_inner());
+        // Re-check under the lock: an unpark may have landed in between.
+        match s
+            .state
+            .compare_exchange(EMPTY, PARKED, Ordering::Acquire, Ordering::Acquire)
+        {
+            Ok(_) => {}
+            Err(_) => {
+                // NOTIFIED: consume the token and leave.
+                s.state.store(EMPTY, Ordering::Release);
+                return;
+            }
+        }
+        loop {
+            guard = match timeout {
+                None => s.cv.wait(guard).unwrap_or_else(|e| e.into_inner()),
+                Some(t) => {
+                    let (g, res) = s
+                        .cv
+                        .wait_timeout(guard, t)
+                        .unwrap_or_else(|e| e.into_inner());
+                    if res.timed_out() {
+                        // Fold back to EMPTY, consuming a token that raced
+                        // in (the caller re-checks its condition anyway).
+                        s.state.swap(EMPTY, Ordering::Acquire);
+                        return;
+                    }
+                    g
+                }
+            };
+            if s.state.swap(EMPTY, Ordering::Acquire) == NOTIFIED {
+                return;
+            }
+            // Spurious wakeup: re-arm.
+            if s
+                .state
+                .compare_exchange(EMPTY, PARKED, Ordering::Acquire, Ordering::Acquire)
+                .is_err()
+            {
+                s.state.store(EMPTY, Ordering::Release);
+                return;
+            }
+        }
+    }
+}
+
+impl Unparker {
+    /// Wake the paired [`Parker`], or leave a token making its next park a
+    /// no-op.
+    pub fn unpark(&self) {
+        let s = &self.shared;
+        if s.state.swap(NOTIFIED, Ordering::Release) == PARKED {
+            // The parker is (or is about to be) waiting on the condvar; the
+            // empty critical section orders our token store before its wait.
+            drop(s.lock.lock().unwrap_or_else(|e| e.into_inner()));
+            s.cv.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let (mut p, mut c) = ring::<u64>(4);
+        assert_eq!(c.pop(), None);
+        for i in 0..4 {
+            p.push(i).unwrap();
+        }
+        assert_eq!(p.push(99), Err(99), "ring must report full");
+        for i in 0..4 {
+            assert_eq!(c.pop(), Some(i));
+        }
+        assert_eq!(c.pop(), None);
+    }
+
+    #[test]
+    fn wraparound_many_times() {
+        let (mut p, mut c) = ring::<usize>(2);
+        for i in 0..1000 {
+            p.push(i).unwrap();
+            assert_eq!(c.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn parker_token_prevents_lost_wakeup() {
+        let (p, u) = parker();
+        u.unpark();
+        // Token pending: park returns immediately instead of blocking.
+        p.park();
+    }
+
+    #[test]
+    fn cross_thread_handoff() {
+        let (mut p, mut c) = ring::<u64>(8);
+        let n = 50_000u64;
+        let producer = std::thread::spawn(move || {
+            for i in 0..n {
+                let mut v = i;
+                loop {
+                    match p.push(v) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            v = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        });
+        let mut next = 0u64;
+        while next < n {
+            match c.pop() {
+                Some(v) => {
+                    assert_eq!(v, next);
+                    next += 1;
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+        producer.join().unwrap();
+    }
+}

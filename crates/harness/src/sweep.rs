@@ -14,7 +14,12 @@
 //!    at periodic sweep points and at the end.
 //! 3. **Shard determinism** — the sharded executor at every requested shard
 //!    count must emit *bit-identical* canonicalized per-update deltas, match
-//!    the oracle, and pass [`ShardedEngine::check_invariants`].
+//!    the oracle, and pass [`ShardedEngine::check_invariants`] both at
+//!    periodic mid-run sweep points and at the end. At every shard count
+//!    the persistent worker runtime is also swept against the pre-runtime
+//!    scoped-thread executor ([`acq::shard::reference::ScopedShardedEngine`],
+//!    kept behind the `reference-exec` feature), whose canonical deltas
+//!    must be bit-identical too.
 //! 4. **Telemetry conservation** — every run's final snapshot satisfies the
 //!    [`acq_telemetry::ENGINE_LAWS`] counter conservation laws, and the
 //!    engine's `tuples_processed` equals the number of updates fed.
@@ -25,6 +30,7 @@ use crate::casefile::{CaseSpec, ConfigId, SchemaSpec};
 use acq::engine::{
     AdaptiveJoinEngine, CacheMode, EngineConfig, ReoptInterval, SelectionStrategy,
 };
+use acq::shard::reference::ScopedShardedEngine;
 use acq::shard::{canonicalize_group, ShardConfig, ShardedEngine};
 use acq::{EnumerationConfig, MemoryConfig, ProfilerConfig};
 use acq_mjoin::oracle::{
@@ -291,6 +297,7 @@ pub fn run_case(spec: &CaseSpec) -> Result<CaseOutcome, CaseFailure> {
         );
         outcome.runs += 1;
         let mut grouped: RunDeltas = Vec::with_capacity(updates.len());
+        let mut since_sweep = 0usize;
         for batch in updates.chunks(SHARD_BATCH) {
             for mut group in sharded.process_batch_grouped(batch) {
                 canonicalize_group(&mut group, n);
@@ -300,6 +307,24 @@ pub fn run_case(spec: &CaseSpec) -> Result<CaseOutcome, CaseFailure> {
                         .map(|(op, c)| (op, canonical_rows(&c, n)))
                         .collect(),
                 );
+            }
+            // Mid-run invariant sweeps: the persistent workers hold live
+            // engine state between batches, so sweep it while in flight,
+            // not only after the stream ends.
+            since_sweep += batch.len();
+            if since_sweep >= INVARIANT_EVERY {
+                since_sweep = 0;
+                let v = sharded.check_invariants();
+                if !v.is_empty() {
+                    return Err(CaseFailure {
+                        run: format!("shards:{num_shards}"),
+                        detail: format!(
+                            "mid-run shard invariants at update {}: {}",
+                            grouped.len(),
+                            v.join("; ")
+                        ),
+                    });
+                }
             }
         }
         for (step, (got, want)) in grouped.iter().zip(&deltas).enumerate() {
@@ -323,6 +348,46 @@ pub fn run_case(spec: &CaseSpec) -> Result<CaseOutcome, CaseFailure> {
             return Err(CaseFailure {
                 run: format!("shards:{num_shards}"),
                 detail: format!("merged-snapshot conservation: {}", laws.join("; ")),
+            });
+        }
+        // Pre-runtime scoped-thread executor: the retired per-batch
+        // spawn+join path, kept behind `reference-exec` purely as a
+        // differential baseline. Its canonical deltas must match the
+        // persistent runtime's bit-for-bit at the same shard count.
+        outcome.runs += 1;
+        let mut scoped = ScopedShardedEngine::with_config(
+            query.clone(),
+            PlanOrders::identity(&query),
+            engine_config(ConfigId::Exhaustive, spec.schema),
+            ShardConfig {
+                num_shards,
+                partition_class: None,
+            },
+        );
+        let mut scoped_grouped: RunDeltas = Vec::with_capacity(updates.len());
+        for batch in updates.chunks(SHARD_BATCH) {
+            for mut group in scoped.process_batch_grouped(batch) {
+                canonicalize_group(&mut group, n);
+                scoped_grouped.push(
+                    group
+                        .into_iter()
+                        .map(|(op, c)| (op, canonical_rows(&c, n)))
+                        .collect(),
+                );
+            }
+        }
+        if scoped_grouped != grouped {
+            let at = scoped_grouped
+                .iter()
+                .zip(&grouped)
+                .position(|(a, b)| a != b)
+                .unwrap_or(0);
+            return Err(CaseFailure {
+                run: format!("shards:{num_shards}:scoped-reference"),
+                detail: format!(
+                    "scoped-thread reference diverges from the persistent \
+                     runtime at update {at}"
+                ),
             });
         }
         match &reference {

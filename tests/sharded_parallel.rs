@@ -185,6 +185,74 @@ proptest! {
 }
 
 #[test]
+fn mixed_batch_sizes_cross_inline_threshold() {
+    // The executor runs small batches inline on the caller thread and
+    // streams large ones through the persistent worker runtime, switching
+    // at a fixed threshold (32 updates). Feeding one stream through chunk
+    // sizes straddling that threshold must produce bit-identical canonical
+    // output to the one-big-batch run: batching (and therefore which path
+    // executes each batch) is an amortization, never a semantic change.
+    let query = QuerySchema::star(4);
+    let mut steps = Vec::new();
+    let mut x = 0x5EEDu64;
+    for _ in 0..420 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let rel = (x % 4) as u16;
+        if x.is_multiple_of(5) {
+            steps.push(Step::DeleteOldest { rel });
+        } else {
+            // Narrow value domain so multi-row delta groups appear on both
+            // sides of the threshold.
+            steps.push(Step::Insert {
+                rel,
+                a: (x / 7 % 5) as i64,
+                b: (x / 11 % 5) as i64,
+            });
+        }
+    }
+    let updates = materialize(&steps, &query);
+    let n = query.num_relations();
+
+    let shard_cfg = ShardConfig {
+        num_shards: 4,
+        partition_class: None,
+    };
+    let mut whole = ShardedEngine::with_config(
+        query.clone(),
+        PlanOrders::identity(&query),
+        fast_config(),
+        shard_cfg.clone(),
+    );
+    let want: Vec<_> = whole
+        .process_batch_grouped(&updates)
+        .iter()
+        .map(|g| canon_group(g, n))
+        .collect();
+
+    let mut chunked = ShardedEngine::with_config(
+        query.clone(),
+        PlanOrders::identity(&query),
+        fast_config(),
+        shard_cfg,
+    );
+    let sizes = [1usize, 8, 31, 32, 33, 64, 3, 100];
+    let mut got = Vec::new();
+    let mut rest = &updates[..];
+    let mut si = 0;
+    while !rest.is_empty() {
+        let k = sizes[si % sizes.len()].min(rest.len());
+        si += 1;
+        for g in chunked.process_batch_grouped(&rest[..k]) {
+            got.push(canon_group(&g, n));
+        }
+        rest = &rest[k..];
+    }
+    assert_eq!(got, want, "mixed chunk sizes diverged from one-batch run");
+}
+
+#[test]
 fn delete_heavy_regression_at_four_shards() {
     // Duplicate tuples, delete of one duplicate, immediate reinsert —
     // routed deletes must land in the shard holding their insert.

@@ -153,7 +153,7 @@ proptest! {
             // Associativity on this engine's real per-shard parts.
             let parts: Vec<TelemetrySnapshot> = (0..shards)
                 .map(|i| {
-                    let mut p = e.shards()[i].telemetry_snapshot();
+                    let mut p = e.with_shard(i, |s| s.telemetry_snapshot());
                     p.tag_events("shard", acq_telemetry::FieldValue::U64(i as u64));
                     p
                 })
